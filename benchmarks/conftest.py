@@ -1,0 +1,27 @@
+"""Benchmark-suite helpers.
+
+Every file here uses the pytest-benchmark fixture, so the suite is run as::
+
+    pytest benchmarks/ --benchmark-only
+
+The experiment benches (`test_bench_eXX_*`) regenerate the E1–E10 result
+tables of DESIGN.md §4 at smoke scale (timing the full regeneration);
+`test_bench_kernels` times the low-level step engines, and
+`test_bench_ablation` times the design alternatives DESIGN.md calls out.
+Rendered tables are printed; pass ``-s`` to see them inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table so `-s` runs double as report generators."""
+
+    def _show(table) -> None:
+        print()
+        print(table.render())
+
+    return _show

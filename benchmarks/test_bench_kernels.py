@@ -1,0 +1,106 @@
+"""Throughput benchmarks for the low-level step engines.
+
+These quantify the claim in DESIGN.md §3: the exact counts-level engine
+makes a round O(k) instead of O(n), enabling n = 10^6+ at microsecond
+round costs, while the agent-level engine (needed for h-plurality and
+arbitrary 3-input rules) pays O(n·h).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    HPlurality,
+    MedianDynamics,
+    ThreeMajority,
+    UndecidedState,
+    majority_rule,
+)
+from repro.core.samplers import categorical_matrix, row_plurality
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCountsEngine:
+    def test_three_majority_step_n1e6_k100(self, benchmark, rng):
+        counts = Configuration.biased(1_000_000, 100, 50_000).counts
+        dyn = ThreeMajority()
+        benchmark(lambda: dyn.step(counts, rng))
+
+    def test_three_majority_step_n1e7_k1000(self, benchmark, rng):
+        counts = Configuration.biased(10_000_000, 1_000, 500_000).counts
+        dyn = ThreeMajority()
+        benchmark(lambda: dyn.step(counts, rng))
+
+    def test_batched_replicas_1024(self, benchmark, rng):
+        batch = np.tile(Configuration.biased(100_000, 16, 5_000).counts, (1024, 1))
+        dyn = ThreeMajority()
+        benchmark(lambda: dyn.step_many(batch, rng))
+
+    def test_undecided_step_n1e6(self, benchmark, rng):
+        state = UndecidedState.extend_counts(
+            Configuration.biased(1_000_000, 64, 50_000).counts, undecided=0
+        )
+        dyn = UndecidedState()
+        benchmark(lambda: dyn.step(state, rng))
+
+    def test_median_step_k512(self, benchmark, rng):
+        # O(k^2) class-wise engine.
+        counts = Configuration.biased(1_000_000, 512, 100_000).counts
+        dyn = MedianDynamics()
+        benchmark(lambda: dyn.step(counts, rng))
+
+
+class TestAgentEngine:
+    def test_hplurality_step_n1e5_h7(self, benchmark, rng):
+        counts = Configuration.biased(100_000, 32, 10_000).counts
+        dyn = HPlurality(7)
+        benchmark(lambda: dyn.step(counts, rng))
+
+    def test_agent_level_three_majority_n1e5(self, benchmark, rng):
+        counts = Configuration.biased(100_000, 16, 10_000).counts
+        dyn = ThreeMajority(agent_level=True)
+        benchmark(lambda: dyn.step(counts, rng))
+
+    def test_three_input_rule_step_n1e5(self, benchmark, rng):
+        counts = Configuration.biased(100_000, 64, 10_000).counts
+        rule = majority_rule()  # k=64 > exact-law cap, forces agent path
+        benchmark(lambda: rule.step(counts, rng))
+
+    def test_row_plurality_reduction(self, benchmark, rng):
+        counts = Configuration.balanced(100_000, 32).counts
+        samples = categorical_matrix(counts, 100_000, 7, rng)
+        benchmark(lambda: row_plurality(samples, 32, rng))
+
+
+class TestAuxiliaryEngines:
+    def test_population_protocol_n500(self, benchmark, rng):
+        from repro import PopulationProcess, UndecidedPopulation
+
+        counts = Configuration.two_color(500, bias=200).counts
+        proc = PopulationProcess(UndecidedPopulation())
+        benchmark.pedantic(lambda: proc.run(counts, rng=rng), rounds=1, iterations=3)
+
+    def test_mean_field_integration(self, benchmark):
+        import numpy as np
+
+        from repro.analysis import integrate_mean_field
+
+        benchmark.pedantic(
+            lambda: integrate_mean_field(
+                ThreeMajority(), np.array([0.4, 0.35, 0.25]), t_max=40.0
+            ),
+            rounds=1,
+            iterations=3,
+        )
+
+    def test_exact_markov_chain_n8_k3(self, benchmark):
+        from repro.analysis import analyze
+
+        benchmark.pedantic(lambda: analyze(ThreeMajority(), 8, 3), rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Replicated-database reconciliation under Byzantine faults.
+
+The paper's first motivating application (Section 1 / related work [7, 20]):
+a cluster of replicas holds versions of a datum; a plurality of replicas
+holds the *correct* version, some hold stale versions, and a bounded number
+of Byzantine replicas actively lie each round.  The cluster reconciles by
+gossip: each replica polls three random replicas per round and adopts the
+majority version — exactly the 3-majority dynamics with an F-bounded
+dynamic adversary (Corollary 4).
+
+The demo sweeps the number of Byzantine replicas and reports whether the
+cluster stabilises on the correct version and how many replicas remain
+corrupted in the almost-stable phase (the M of M-plurality consensus).
+
+Run:  python examples/distributed_database.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Configuration, TargetedAdversary, ThreeMajority, run_process
+from repro.analysis import lambda_for
+from repro.experiments import theorem1_bias
+
+
+def reconcile(n_replicas: int, versions: int, byzantine: int, seed: int) -> dict:
+    """One reconciliation campaign; returns stabilisation metrics."""
+    bias = theorem1_bias(n_replicas, versions)
+    cluster = Configuration.biased(n_replicas, versions, bias)
+    adversary = TargetedAdversary(byzantine) if byzantine else None
+    budget = int(6 * lambda_for(n_replicas, versions) * np.log(n_replicas))
+    result = run_process(
+        ThreeMajority(),
+        cluster,
+        adversary=adversary,
+        max_rounds=budget,
+        rng=seed,
+    )
+    final = result.final_counts
+    correct = result.plurality_color
+    return {
+        "correct_version_won": int(np.argmax(final)) == correct,
+        "stale_replicas": int(final.sum() - final[correct]),
+        "rounds_budget": budget,
+        "fully_consistent": result.converged,
+    }
+
+
+def main() -> None:
+    n, versions = 50_000, 8
+    s = theorem1_bias(n, versions)
+    lam = lambda_for(n, versions)
+    print(f"cluster of {n} replicas, {versions} candidate versions, "
+          f"initial correct-version lead {s}")
+    print(f"Corollary 4 tolerance: F = o(s/λ) = o({s / lam:.0f}) byzantine replicas\n")
+
+    header = f"{'byzantine':>10} | {'correct wins':>12} | {'stale replicas':>14} | {'fully consistent':>16}"
+    print(header)
+    print("-" * len(header))
+    for byzantine in (0, 10, 50, int(0.5 * s / lam), int(s / lam), int(3 * s / lam)):
+        agg_win, agg_stale, agg_full = [], [], []
+        for seed in range(5):
+            out = reconcile(n, versions, byzantine, seed)
+            agg_win.append(out["correct_version_won"])
+            agg_stale.append(out["stale_replicas"])
+            agg_full.append(out["fully_consistent"])
+        print(
+            f"{byzantine:>10} | {np.mean(agg_win):>12.2f} | "
+            f"{np.median(agg_stale):>14.0f} | {np.mean(agg_full):>16.2f}"
+        )
+
+    print(
+        "\nReading: below the o(s/λ) threshold the cluster always elects the "
+        "correct version\nand holds all but O(F) replicas on it (the paper's "
+        "M-plurality consensus); past the\nthreshold the adversary can erase "
+        "the lead and stall reconciliation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Distributed item ranking: agreeing on the most popular item by gossip.
+
+The paper's second motivating application ([21]): every node initially
+"votes" for an item (a meme, a song, a candidate) with a realistic skewed
+popularity distribution, and the network must converge on the *most
+popular* item using only constant-size random polls.
+
+The demo compares the protocols a practitioner might reach for:
+
+* 1-sample polling (voter)        — converges, but to a random-ish item;
+* 2 samples + uniform tie-break   — provably identical to polling;
+* 3-majority                      — the paper's rule: elects the plurality;
+* median on item ids              — converges to the median id (nonsense
+                                    for ranking, the Theorem 3 story);
+* undecided-state (extra state)   — fast here (low md(c)), the trade-off
+                                    baseline.
+
+Run:  python examples/item_ranking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MedianDynamics,
+    ThreeMajority,
+    TwoSampleUniform,
+    UndecidedState,
+    Voter,
+    run_ensemble,
+)
+from repro.experiments import geometric_tail
+
+
+def main() -> None:
+    n, items = 30_000, 12
+    popularity = geometric_tail(n, items, ratio=0.82)
+    top = popularity.plurality_color
+    print(f"{n} nodes, {items} items; initial vote counts:")
+    print("  " + ", ".join(f"item{j}:{c}" for j, c in enumerate(popularity)))
+    print(f"ground-truth winner: item{top} "
+          f"(lead {popularity.bias} votes over runner-up)\n")
+
+    protocols = [
+        ("1-sample polling", Voter()),
+        ("2-sample uniform", TwoSampleUniform()),
+        ("3-majority", ThreeMajority()),
+        ("median-of-ids", MedianDynamics()),
+        ("undecided-state", UndecidedState()),
+    ]
+    replicas = 24
+    header = (
+        f"{'protocol':>16} | {'elects top item':>15} | {'median rounds':>13} | {'verdict':<28}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, dynamics in protocols:
+        ens = run_ensemble(
+            dynamics, popularity, replicas, max_rounds=500_000, rng=hash(name) % 2**32
+        )
+        rate = ens.plurality_win_rate
+        med = ens.rounds_summary()["median"]
+        if rate > 0.9:
+            verdict = "correct ranking"
+        elif rate < 0.1:
+            verdict = "systematically wrong"
+        else:
+            verdict = "coin-flip — unusable"
+        print(f"{name:>16} | {rate:>15.2f} | {med:>13.0f} | {verdict:<28}")
+
+    print(
+        "\nReading: with no extra state, only 3-majority reliably elects the "
+        "plurality item\n(Theorem 3); polling is a lottery weighted by vote "
+        "share, and the median rule\nelects whichever item id sits in the "
+        "middle of the id range."
+    )
+
+
+if __name__ == "__main__":
+    main()

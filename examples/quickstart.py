@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: run the 3-majority dynamics and watch it elect the plurality.
+
+This walks the three layers of the public API:
+
+1. build an initial configuration with a controlled bias;
+2. run a single trajectory (with trajectory recording) and inspect the
+   three proof phases;
+3. run a replica ensemble for statistics, and compare the measured time
+   with the theorem's λ log n prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Configuration, ThreeMajority, run_ensemble, run_process
+from repro.analysis import lambda_for, phase_segments, theorem1_rounds
+from repro.experiments import ascii_plot, theorem1_bias
+
+
+def main() -> None:
+    n, k = 200_000, 16
+    bias = theorem1_bias(n, k)  # Corollary 1's sqrt(2 λ n log n) shape
+    config = Configuration.biased(n, k, bias)
+    print(f"n={n}, k={k}, initial bias s={config.bias} "
+          f"(plurality holds {config.plurality_count} agents)")
+
+    # --- one trajectory -------------------------------------------------
+    dynamics = ThreeMajority()
+    result = run_process(dynamics, config, rng=0, record_trajectory=True)
+    assert result.plurality_won
+    print(f"\nconsensus on color {result.winner} after {result.rounds} rounds")
+
+    print("\nproof phases traversed (Lemmas 3 → 4 → 5):")
+    for seg in phase_segments(result.trajectory):
+        print(f"  rounds {seg.start_round:>3}..{seg.end_round:<3}  {seg.phase}")
+
+    print("\nbias trajectory (log scale):")
+    rounds = list(range(result.bias_history.size))
+    print(
+        ascii_plot(
+            {"bias": (rounds, result.bias_history.tolist())},
+            width=60,
+            height=12,
+            logy=True,
+            xlabel="round",
+            ylabel="s(c)",
+        )
+    )
+
+    # --- an ensemble -----------------------------------------------------
+    ens = run_ensemble(dynamics, config, replicas=64, rng=1)
+    summary = ens.rounds_summary()
+    lam = lambda_for(n, k)
+    predicted = theorem1_rounds(n, lam)
+    print(f"\n64 replicas: win rate {ens.plurality_win_rate:.2f}, "
+          f"median {summary['median']:.0f} rounds, p90 {summary['p90']:.0f}")
+    print(f"Theorem 1 scale λ·log(n) = {predicted:.0f} "
+          f"(measured/predicted = {summary['median'] / predicted:.2f})")
+    print(f"log2(n) for perspective: {math.log2(n):.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Plurality consensus on physical topologies (beyond the paper's clique).
+
+A sensor-network scenario: devices can only poll radio neighbors, not the
+whole network.  The paper analyses the clique; this example uses the
+agent-level graph substrate to ask how the same 3-sample rule behaves on
+realistic topologies — the natural "what if" a systems reader asks next.
+
+We compare clique, random-regular (expander-like), torus (planar
+deployment) and cycle (worst case) at equal n and equal initial bias, and
+also demonstrate a known failure mode: on a barbell graph (two dense
+communities joined by a bridge) local majorities deadlock for a long time.
+
+Run:  python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Configuration
+from repro.graphs import (
+    GraphPluralityProcess,
+    barbell,
+    clique,
+    cycle,
+    random_coloring,
+    random_regular,
+    torus,
+)
+
+
+def measure(topo, config: Configuration, replicas: int, max_rounds: int, seed: int):
+    wins, rounds = 0, []
+    proc = GraphPluralityProcess(topo, h=3)
+    for rep in range(replicas):
+        rng = np.random.default_rng((seed, rep))
+        colors = random_coloring(topo, config, rng)
+        res = proc.run(colors, k=config.k, rng=rng, max_rounds=max_rounds)
+        wins += int(res.plurality_won)
+        rounds.append(res.rounds if res.converged else max_rounds)
+    return wins / replicas, float(np.median(rounds))
+
+
+def main() -> None:
+    n = 1_024
+    config = Configuration.biased(n, 4, 200)
+    print(f"{n} sensors, 4 readings, initial bias {config.bias}\n")
+
+    topologies = [
+        ("clique (paper)", clique(n)),
+        ("random 8-regular", random_regular(n, 8, seed=0)),
+        ("torus 32x32", torus(32, 32)),
+        ("cycle", cycle(n)),
+    ]
+    header = f"{'topology':>18} | {'plurality wins':>14} | {'median rounds':>13}"
+    print(header)
+    print("-" * len(header))
+    for name, topo in topologies:
+        rate, med = measure(topo, config, replicas=8, max_rounds=40_000, seed=1)
+        print(f"{name:>18} | {rate:>14.2f} | {med:>13.0f}")
+
+    # Community deadlock on the barbell.
+    m = n // 2
+    topo = barbell(m)
+    colors = np.zeros(2 * m, dtype=np.int64)
+    colors[m:] = 1  # each community starts internally unanimous
+    proc = GraphPluralityProcess(topo, h=3)
+    res = proc.run(colors, k=2, rng=np.random.default_rng(7), max_rounds=2_000)
+    print(
+        f"\nbarbell ({m}+{m} communities, opposite unanimous opinions): "
+        f"{'consensus in ' + str(res.rounds) + ' rounds' if res.converged else 'no consensus within 2000 rounds'}"
+    )
+    print(
+        "\nReading: sparse well-mixing topologies behave like the clique; "
+        "poor expanders slow\nthe dynamics dramatically, and community "
+        "structure can freeze it — the clique\nanalysis is the best case."
+    )
+
+
+if __name__ == "__main__":
+    main()

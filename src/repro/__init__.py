@@ -1,0 +1,106 @@
+"""repro — a reproduction of *Simple Dynamics for Plurality Consensus*.
+
+Becchetti, Clementi, Natale, Pasquale, Silvestri, Trevisan (SPAA 2014;
+Distributed Computing 30(4), 2017).
+
+The package simulates and analyses anonymous plurality-consensus dynamics
+on the clique (and, as an extension, on general graphs):
+
+* :mod:`repro.core` — configurations, the dynamics zoo (3-majority,
+  h-plurality, median, undecided-state, voter, two-choices, the full
+  3-input class of Theorem 3), F-bounded adversaries, process runners;
+* :mod:`repro.analysis` — the paper's exact expectation formulas, Chernoff
+  machinery, exact Markov-chain ground truth, scaling-law fitting;
+* :mod:`repro.graphs` — agent-level simulation on arbitrary topologies;
+* :mod:`repro.experiments` — the E1–E10 experiment suite reproducing each
+  theorem/lemma of the paper (see DESIGN.md for the index).
+
+Quickstart
+----------
+>>> from repro import Configuration, ThreeMajority, run_process
+>>> cfg = Configuration.biased(n=100_000, k=10, bias=6_000)
+>>> result = run_process(ThreeMajority(), cfg, rng=0)
+>>> result.plurality_won, result.rounds  # doctest: +SKIP
+(True, 23)
+"""
+
+from .core import (
+    Adversary,
+    BalancingAdversary,
+    Configuration,
+    CountsDynamics,
+    Dynamics,
+    EnsembleResult,
+    HPlurality,
+    MedianDynamics,
+    PairwiseProtocol,
+    PairwiseVoter,
+    PopulationProcess,
+    PopulationResult,
+    ProcessResult,
+    RandomAdversary,
+    ReviveAdversary,
+    TargetedAdversary,
+    ThreeInputRule,
+    ThreeMajority,
+    TwoChoices,
+    TwoSampleUniform,
+    UndecidedPopulation,
+    UndecidedState,
+    Voter,
+    all_position_rules,
+    first_rule,
+    majority_rule,
+    majority_uniform_rule,
+    make_rng,
+    max_rule,
+    median_rule,
+    min_rule,
+    run_ensemble,
+    run_process,
+    skewed_rule,
+    spawn_streams,
+    three_majority_law,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "BalancingAdversary",
+    "Configuration",
+    "CountsDynamics",
+    "Dynamics",
+    "EnsembleResult",
+    "HPlurality",
+    "MedianDynamics",
+    "PairwiseProtocol",
+    "PairwiseVoter",
+    "PopulationProcess",
+    "PopulationResult",
+    "ProcessResult",
+    "RandomAdversary",
+    "ReviveAdversary",
+    "TargetedAdversary",
+    "ThreeInputRule",
+    "ThreeMajority",
+    "TwoChoices",
+    "TwoSampleUniform",
+    "UndecidedPopulation",
+    "UndecidedState",
+    "Voter",
+    "__version__",
+    "all_position_rules",
+    "first_rule",
+    "majority_rule",
+    "majority_uniform_rule",
+    "make_rng",
+    "max_rule",
+    "median_rule",
+    "min_rule",
+    "run_ensemble",
+    "run_process",
+    "skewed_rule",
+    "spawn_streams",
+    "three_majority_law",
+]

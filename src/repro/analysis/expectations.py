@@ -1,0 +1,116 @@
+"""The paper's exact expectation formulas (Lemmas 1, 2, 4, 6, 9, 10).
+
+These closed forms are the analytical spine of the paper; the library uses
+them three ways:
+
+* the exact counts-level engine samples ``Multinomial(n, mu/n)`` directly
+  from Lemma 1's law;
+* the test suite checks simulated one-round means against them;
+* experiment E1 reports formula-vs-measured agreement, and E10 uses the
+  drift factors to segment trajectories into the proof's three phases.
+
+All functions take raw count vectors (any order; the bias helpers sort
+internally where the paper assumes ``c1 >= c2 >= ...``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "expected_next_counts",
+    "expected_next_bias_lower_bound",
+    "bias_growth_factor",
+    "minority_mass_decay_factor",
+    "expected_minority_mass",
+    "lemma6_growth_cap",
+    "lemma9_growth_cap",
+    "expected_last_step_extinction_prob",
+]
+
+
+def expected_next_counts(counts: np.ndarray) -> np.ndarray:
+    """Lemma 1: ``mu_j(c) = c_j (1 + (n c_j - sum_h c_h^2) / n^2)``.
+
+    The exact expected configuration after one 3-majority round.
+    """
+    c = np.asarray(counts, dtype=np.float64)
+    n = c.sum()
+    if n <= 0:
+        raise ValueError("empty configuration")
+    sq = float(np.dot(c, c))
+    return c * (1.0 + (n * c - sq) / n**2)
+
+
+def expected_next_bias_lower_bound(counts: np.ndarray) -> float:
+    """Lemma 2's bound: ``mu_1 - mu_j >= s (1 + (c1/n)(1 - c1/n))``.
+
+    Returns the right-hand side for the sorted configuration; Lemma 2
+    guarantees ``mu_(1) - mu_(j) >=`` this for every non-plurality j.
+    """
+    c = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    n = c.sum()
+    if n <= 0:
+        raise ValueError("empty configuration")
+    s = c[0] - (c[1] if c.size > 1 else 0.0)
+    f1 = c[0] / n
+    return float(s * (1.0 + f1 * (1.0 - f1)))
+
+
+def bias_growth_factor(counts: np.ndarray) -> float:
+    """The per-round multiplicative drift ``1 + (c1/n)(1 - c1/n)`` of Lemma 2."""
+    c = np.asarray(counts, dtype=np.float64)
+    n = c.sum()
+    if n <= 0:
+        raise ValueError("empty configuration")
+    f1 = c.max() / n
+    return float(1.0 + f1 * (1.0 - f1))
+
+
+def expected_minority_mass(counts: np.ndarray) -> float:
+    """Exact ``mu_{-1} = sum_{j != plurality} mu_j`` after one round."""
+    c = np.asarray(counts, dtype=np.float64)
+    mu = expected_next_counts(c)
+    return float(mu.sum() - mu[int(np.argmax(c))])
+
+
+def minority_mass_decay_factor(counts: np.ndarray) -> float:
+    """Lemma 4's bound on the minority-mass ratio when ``c1 >= 2n/3``.
+
+    The proof shows ``mu_{-1} <= (1 - c1/n)(1 - (c1/n)(c1/n - c2/n)) * n``
+    which is at most ``(7/9) * sum_{i != 1} c_i`` in the lemma's range; we
+    return the exact expected ratio ``mu_{-1} / (n - c1)``.
+    """
+    c = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    n = c.sum()
+    minority = n - c[0]
+    if minority <= 0:
+        return 0.0
+    return expected_minority_mass(c) / minority
+
+
+def lemma6_growth_cap(n: int, k: int, b: float) -> float:
+    """Lemma 6: a color at ``n/k + a`` (a <= b <= n/k) stays below
+    ``n/k + (1 + 3/k) b`` at the next round w.h.p.  Returns that cap."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return n / k + (1.0 + 3.0 / k) * b
+
+
+def lemma9_growth_cap(k: int, h: int, cj: float) -> float:
+    """Lemma 9: under h-plurality a color with ``n/k <= c_j <= 2n/k`` grows
+    to at most ``(1 + 2 h^2 / k) c_j`` w.h.p.  Returns that cap."""
+    if k <= 0 or h <= 0:
+        raise ValueError("k and h must be positive")
+    return (1.0 + 2.0 * h * h / k) * cj
+
+
+def expected_last_step_extinction_prob(counts: np.ndarray) -> float:
+    """Lemma 5: when ``c1 >= n - polylog``, all minorities die in one round.
+
+    Returns the Markov bound ``1 - mu_{-1}`` clipped to [0, 1]: the lemma's
+    lower bound on P(next round is monochromatic) via
+    ``P(sum_{i != 1} C_i >= 1) <= mu_{-1}``.
+    """
+    mu_minus = expected_minority_mass(counts)
+    return float(np.clip(1.0 - mu_minus, 0.0, 1.0))

@@ -1,0 +1,131 @@
+"""Scaling-law estimation for the convergence-time experiments.
+
+The paper's bounds are asymptotic shapes — ``O(λ log n)``, ``Θ(k log n)``,
+``Ω(k/h²)`` — so the experiments need to *fit* measured times against
+candidate predictors and report how well each shape explains the data:
+
+* :func:`power_law_fit` — log-log OLS slope (exponent) with a normal-theory
+  confidence interval; used to confirm, e.g., time ~ k^1 in E2/E4 and
+  speedup ~ h^2 in E6;
+* :func:`linear_fit_through_predictor` — least-squares constant ``a`` in
+  ``time ≈ a · predictor`` plus R², for predictors like ``k log n``;
+* :func:`bootstrap_ci` — percentile bootstrap for medians/means of round
+  counts (convergence-time distributions are skewed);
+* :func:`wilson_interval` — CI for empirical success probabilities
+  (plurality-win rates, Lemma 10 decrease frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "PowerLawFit",
+    "LinearFit",
+    "power_law_fit",
+    "linear_fit_through_predictor",
+    "bootstrap_ci",
+    "wilson_interval",
+]
+
+
+@dataclass
+class PowerLawFit:
+    """Result of fitting ``y ≈ C · x^exponent`` by log-log OLS."""
+
+    exponent: float
+    exponent_stderr: float
+    log_prefactor: float
+    r_squared: float
+
+    @property
+    def prefactor(self) -> float:
+        return float(np.exp(self.log_prefactor))
+
+    def exponent_ci(self, z: float = 1.96) -> tuple[float, float]:
+        return (self.exponent - z * self.exponent_stderr, self.exponent + z * self.exponent_stderr)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.prefactor * np.asarray(x, dtype=float) ** self.exponent
+
+
+def power_law_fit(x: np.ndarray, y: np.ndarray) -> PowerLawFit:
+    """Fit ``y = C x^a`` via OLS on ``log y`` vs ``log x``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 3:
+        raise ValueError("need matched 1-D arrays with at least 3 points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    res = stats.linregress(np.log(x), np.log(y))
+    return PowerLawFit(
+        exponent=float(res.slope),
+        exponent_stderr=float(res.stderr),
+        log_prefactor=float(res.intercept),
+        r_squared=float(res.rvalue**2),
+    )
+
+
+@dataclass
+class LinearFit:
+    """Result of fitting ``y ≈ a · predictor`` (no intercept)."""
+
+    coefficient: float
+    r_squared: float
+
+    def predict(self, predictor: np.ndarray) -> np.ndarray:
+        return self.coefficient * np.asarray(predictor, dtype=float)
+
+
+def linear_fit_through_predictor(predictor: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Least-squares ``a`` minimising ``||y - a · predictor||``; R² vs mean."""
+    p = np.asarray(predictor, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if p.shape != y.shape or p.ndim != 1 or p.size < 2:
+        raise ValueError("need matched 1-D arrays with at least 2 points")
+    denom = float(np.dot(p, p))
+    if denom == 0:
+        raise ValueError("predictor is identically zero")
+    a = float(np.dot(p, y)) / denom
+    resid = y - a * p
+    ss_res = float(np.dot(resid, resid))
+    centered = y - y.mean()
+    ss_tot = float(np.dot(centered, centered))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else (1.0 if ss_res == 0 else 0.0)
+    return LinearFit(coefficient=a, r_squared=r2)
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic=np.median,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for an arbitrary statistic of a sample."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("empty sample")
+    generator = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    idx = generator.integers(0, v.size, size=(n_boot, v.size))
+    boots = np.apply_along_axis(statistic, 1, v[idx])
+    lo, hi = np.quantile(boots, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = z * np.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials)) / denom
+    lo = 0.0 if successes == 0 else max(0.0, center - half)
+    hi = 1.0 if successes == trials else min(1.0, center + half)
+    return lo, hi

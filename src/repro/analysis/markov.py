@@ -1,0 +1,198 @@
+"""Exact Markov-chain analysis of dynamics on small configuration spaces.
+
+Conditioned on the current configuration, every agent updates
+independently, so each dynamics induces an exact Markov chain on the set
+of configurations (compositions of ``n`` into ``k`` parts — size
+``C(n+k-1, k-1)``).  For small ``(n, k)`` we build the full transition
+matrix and compute, via the absorbing-chain fundamental matrix:
+
+* absorption (consensus) probabilities per color,
+* expected rounds to absorption from any start.
+
+This is the library's ground truth: the simulators are validated against
+it, and it yields exact versions of the paper's qualitative claims at toy
+scale (e.g. the voter model's ``P(win) = c_j / n`` martingale identity, or
+the median dynamics absorbing at the median rather than the plurality).
+
+Transition construction supports two dynamics shapes:
+
+* *product-form* rules exposing :meth:`color_law` — the next configuration
+  is ``Multinomial(n, law)``;
+* *class-wise* rules exposing :meth:`class_transition_matrix` (median,
+  two-choices, undecided-state) — the next configuration is the
+  convolution of one multinomial per current-color class.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dynamics import Dynamics
+
+__all__ = ["enumerate_configurations", "transition_matrix", "MarkovAnalysis", "analyze"]
+
+
+def enumerate_configurations(n: int, k: int) -> list[tuple[int, ...]]:
+    """All compositions of ``n`` into ``k`` non-negative parts, lex order."""
+    if n < 0 or k < 1:
+        raise ValueError("need n >= 0 and k >= 1")
+
+    def rec(remaining: int, slots: int):
+        if slots == 1:
+            yield (remaining,)
+            return
+        for first in range(remaining + 1):
+            for rest in rec(remaining - first, slots - 1):
+                yield (first, *rest)
+
+    return list(rec(n, k))
+
+
+def _log_multinomial_pmf(outcome: np.ndarray, total: int, p: np.ndarray) -> float:
+    """Log-pmf of a multinomial outcome, tolerating zero-probability cells."""
+    if outcome.sum() != total:
+        return -math.inf
+    log_p = np.full(p.size, -math.inf)
+    pos = p > 0
+    log_p[pos] = np.log(p[pos])
+    if np.any((outcome > 0) & ~pos):
+        return -math.inf
+    coef = math.lgamma(total + 1) - sum(math.lgamma(x + 1) for x in outcome)
+    return coef + float(np.sum(outcome[pos] * log_p[pos]))
+
+
+def _multinomial_vector(total: int, p: np.ndarray, states: list[tuple[int, ...]]) -> np.ndarray:
+    """Probability of each state in ``states`` under ``Multinomial(total, p)``."""
+    out = np.zeros(len(states))
+    for i, st in enumerate(states):
+        out[i] = math.exp(_log_multinomial_pmf(np.asarray(st), total, p))
+    return out
+
+
+def _classwise_distribution(
+    counts: np.ndarray, mat: np.ndarray, k: int
+) -> dict[tuple[int, ...], float]:
+    """Distribution of the summed outcome of one multinomial per class.
+
+    ``mat[i]`` is the per-agent law for the ``counts[i]`` agents of class
+    ``i``; the result is the exact convolution over classes, as a dict from
+    outcome tuple to probability.
+    """
+    dist: dict[tuple[int, ...], float] = {tuple([0] * k): 1.0}
+    for i, ci in enumerate(counts):
+        ci = int(ci)
+        if ci == 0:
+            continue
+        p = mat[i]
+        outcomes = enumerate_configurations(ci, k)
+        probs = _multinomial_vector(ci, p, outcomes)
+        new: dict[tuple[int, ...], float] = {}
+        for acc, pa in dist.items():
+            if pa == 0.0:
+                continue
+            for outcome, po in zip(outcomes, probs):
+                if po == 0.0:
+                    continue
+                key = tuple(a + o for a, o in zip(acc, outcome))
+                new[key] = new.get(key, 0.0) + pa * po
+        dist = new
+    return dist
+
+
+def transition_matrix(dynamics: Dynamics, n: int, k: int) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Exact transition matrix of ``dynamics`` on configurations of (n, k).
+
+    For dynamics with extra state (undecided-state) the state space is the
+    compositions over ``k+1`` slots; callers should pass the *slot* count
+    as ``k`` (i.e. colors + 1).
+    """
+    states = enumerate_configurations(n, k)
+    index = {s: i for i, s in enumerate(states)}
+    m = len(states)
+    P = np.zeros((m, m))
+    has_classwise = hasattr(dynamics, "class_transition_matrix")
+    for i, state in enumerate(states):
+        counts = np.asarray(state, dtype=np.int64)
+        if counts.sum() == 0:
+            P[i, i] = 1.0
+            continue
+        if has_classwise:
+            mat = dynamics.class_transition_matrix(counts)  # type: ignore[attr-defined]
+            dist = _classwise_distribution(counts, mat, k)
+            for outcome, prob in dist.items():
+                P[i, index[outcome]] += prob
+        else:
+            law = np.asarray(dynamics.color_law(counts), dtype=np.float64)
+            P[i] = _multinomial_vector(n, law, states)
+    # Normalise away accumulated round-off.
+    P /= P.sum(axis=1, keepdims=True)
+    return P, states
+
+
+@dataclass
+class MarkovAnalysis:
+    """Absorbing-chain analysis results for one dynamics at one (n, k)."""
+
+    states: list[tuple[int, ...]]
+    transition: np.ndarray
+    absorbing_states: list[int]
+    absorption_probability: np.ndarray  # (num_states, num_absorbing)
+    expected_absorption_time: np.ndarray  # (num_states,)
+
+    def state_index(self, state: tuple[int, ...] | np.ndarray) -> int:
+        key = tuple(int(x) for x in state)
+        return self.states.index(key)
+
+    def win_probability(self, start: tuple[int, ...] | np.ndarray, color: int) -> float:
+        """P(absorb in the all-``color`` configuration | start)."""
+        i = self.state_index(start)
+        n = sum(self.states[0]) if self.states else 0
+        for a, si in enumerate(self.absorbing_states):
+            st = self.states[si]
+            if st[color] == sum(st):
+                return float(self.absorption_probability[i, a])
+        raise ValueError(f"no absorbing state for color {color}")
+
+    def expected_rounds(self, start: tuple[int, ...] | np.ndarray) -> float:
+        return float(self.expected_absorption_time[self.state_index(start)])
+
+
+def analyze(dynamics: Dynamics, n: int, k: int) -> MarkovAnalysis:
+    """Full absorbing-chain analysis (suitable for small n, k).
+
+    The monochromatic configurations are absorbing for every dynamics in
+    the library (a property the paper notes for all h-dynamics); states
+    from which absorption is unreachable would make the fundamental matrix
+    singular — none of the implemented dynamics has such states.
+    """
+    P, states = transition_matrix(dynamics, n, k)
+    total = n
+    absorbing = [i for i, s in enumerate(states) if max(s) == total]
+    transient = [i for i in range(len(states)) if i not in absorbing]
+
+    m_t = len(transient)
+    Q = P[np.ix_(transient, transient)]
+    R = P[np.ix_(transient, absorbing)]
+    fundamental = np.linalg.solve(np.eye(m_t) - Q, np.eye(m_t))
+    B = fundamental @ R  # absorption probabilities from transient states
+    t = fundamental @ np.ones(m_t)  # expected absorption times
+
+    num_abs = len(absorbing)
+    absorption_probability = np.zeros((len(states), num_abs))
+    expected_time = np.zeros(len(states))
+    for a, si in enumerate(absorbing):
+        absorption_probability[si, a] = 1.0
+    for row, si in enumerate(transient):
+        absorption_probability[si] = B[row]
+        expected_time[si] = t[row]
+    return MarkovAnalysis(
+        states=states,
+        transition=P,
+        absorbing_states=absorbing,
+        absorption_probability=absorption_probability,
+        expected_absorption_time=expected_time,
+    )

@@ -1,0 +1,138 @@
+"""Mean-field (ODE) approximation of the dynamics.
+
+The continuous-time analyses the paper's related work relies on
+([21, 8, 3]) replace the stochastic process with its mean-field limit:
+the color-fraction vector ``f = c/n`` evolves by
+
+    ``df/dt = law(f) - f``,
+
+where ``law`` is the per-agent next-color distribution.  The paper
+explicitly notes such real-valued differential-equation arguments do *not*
+establish w.h.p. bounds for the discrete parallel model — this module
+exists to make that comparison quantitative: integrate the ODE, compare
+with stochastic trajectories, and measure where the approximation breaks
+(small biases, where fluctuations of order √n dominate — exactly Lemma
+10's regime).
+
+Also provides the deterministic *discrete* mean-field iteration
+``f_{t+1} = law(f_t)`` (one synchronous round in expectation), which is the
+natural object for the paper's round-based statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..core.dynamics import Dynamics
+
+__all__ = ["MeanFieldResult", "discrete_mean_field", "integrate_mean_field", "mean_field_drift"]
+
+
+def _law_of_fractions(dynamics: Dynamics, fractions: np.ndarray, scale_n: int) -> np.ndarray:
+    """Evaluate the dynamics' color law on a fraction vector.
+
+    The laws are exposed on integer counts; they are scale-free (depend on
+    ``c/n`` only), so we evaluate on a large virtual population and accept
+    the O(1/scale_n) rounding error.
+    """
+    f = np.clip(np.asarray(fractions, dtype=np.float64), 0.0, None)
+    total = f.sum()
+    if total <= 0:
+        raise ValueError("fraction vector is empty")
+    counts = np.rint(f / total * scale_n).astype(np.int64)
+    if counts.sum() == 0:
+        counts[int(np.argmax(f))] = scale_n
+    return np.asarray(dynamics.color_law(counts), dtype=np.float64)
+
+
+def mean_field_drift(dynamics: Dynamics, scale_n: int = 10_000_000):
+    """Return the drift field ``F(f) = law(f) - f`` as a callable."""
+
+    def drift(_t: float, f: np.ndarray) -> np.ndarray:
+        law = _law_of_fractions(dynamics, f, scale_n)
+        return law - f / max(f.sum(), 1e-12)
+
+    return drift
+
+
+@dataclass
+class MeanFieldResult:
+    """Trajectory of the mean-field system."""
+
+    times: np.ndarray
+    fractions: np.ndarray  # (T, k)
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.fractions[-1]
+
+    def winner(self, atol: float = 1e-3) -> int | None:
+        """Consensus color if the final state is (nearly) monochromatic."""
+        f = self.final
+        if f.max() >= 1.0 - atol:
+            return int(np.argmax(f))
+        return None
+
+    def rounds_to_fraction(self, fraction: float) -> float | None:
+        """First time the leading color reaches ``fraction`` (None if never)."""
+        lead = self.fractions.max(axis=1)
+        idx = np.nonzero(lead >= fraction)[0]
+        if idx.size == 0:
+            return None
+        return float(self.times[idx[0]])
+
+
+def discrete_mean_field(
+    dynamics: Dynamics,
+    fractions: np.ndarray,
+    rounds: int,
+    scale_n: int = 10_000_000,
+) -> MeanFieldResult:
+    """Iterate the expected synchronous round ``f <- law(f)``.
+
+    This is the deterministic skeleton of the parallel model: for
+    3-majority it reproduces Lemma 1's drift exactly (modulo the 1/scale_n
+    discretisation), so the bias grows by the factor of Lemma 2 each step.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    f = np.asarray(fractions, dtype=np.float64)
+    f = f / f.sum()
+    out = [f.copy()]
+    for _ in range(rounds):
+        f = _law_of_fractions(dynamics, f, scale_n)
+        f = f / f.sum()
+        out.append(f.copy())
+    traj = np.asarray(out)
+    return MeanFieldResult(times=np.arange(rounds + 1, dtype=float), fractions=traj)
+
+
+def integrate_mean_field(
+    dynamics: Dynamics,
+    fractions: np.ndarray,
+    t_max: float,
+    *,
+    num_points: int = 200,
+    scale_n: int = 10_000_000,
+    rtol: float = 1e-8,
+) -> MeanFieldResult:
+    """Integrate the continuous mean-field ODE ``df/dt = law(f) - f``.
+
+    Continuous time `t` is comparable to parallel rounds (each agent
+    updates at unit rate).
+    """
+    if t_max <= 0:
+        raise ValueError("t_max must be positive")
+    f0 = np.asarray(fractions, dtype=np.float64)
+    f0 = f0 / f0.sum()
+    drift = mean_field_drift(dynamics, scale_n)
+    times = np.linspace(0.0, t_max, num_points)
+    sol = solve_ivp(drift, (0.0, t_max), f0, t_eval=times, rtol=rtol, atol=1e-10)
+    if not sol.success:
+        raise RuntimeError(f"mean-field integration failed: {sol.message}")
+    fractions_t = np.clip(sol.y.T, 0.0, None)
+    fractions_t /= fractions_t.sum(axis=1, keepdims=True)
+    return MeanFieldResult(times=sol.t, fractions=fractions_t)

@@ -1,0 +1,124 @@
+"""Streaming statistics for huge replica ensembles.
+
+At paper scale some experiments draw 10⁴–10⁵ one-round replicas; holding
+every outcome wastes memory when only summary statistics are reported.
+:class:`StreamingMoments` implements Welford/Chan parallel-merge updates
+(numerically stable single-pass mean/variance, vector-valued), and
+:class:`StreamingQuantiles` keeps a bounded uniform reservoir for
+approximate quantiles — both mergeable, so chunked or multiprocess
+producers combine exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamingMoments", "StreamingQuantiles"]
+
+
+class StreamingMoments:
+    """Single-pass vector mean/variance (Welford, with Chan merging)."""
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.count = 0
+        self._mean = np.zeros(dim)
+        self._m2 = np.zeros(dim)
+
+    def push(self, sample: np.ndarray) -> None:
+        """Add one length-``dim`` observation."""
+        x = np.asarray(sample, dtype=np.float64)
+        if x.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {x.shape}")
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    def push_batch(self, samples: np.ndarray) -> None:
+        """Add a ``(rows, dim)`` block (merged via Chan's formula)."""
+        block = np.asarray(samples, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.dim:
+            raise ValueError(f"expected (rows, {self.dim}), got {block.shape}")
+        rows = block.shape[0]
+        if rows == 0:
+            return
+        other = StreamingMoments(self.dim)
+        other.count = rows
+        other._mean = block.mean(axis=0)
+        other._m2 = ((block - other._mean) ** 2).sum(axis=0)
+        self.merge(other)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Combine with another accumulator (exact, order-independent)."""
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch")
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (other.count / total)
+        self._m2 = self._m2 + other._m2 + delta**2 * (self.count * other.count / total)
+        self.count = total
+
+    @property
+    def mean(self) -> np.ndarray:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._mean.copy()
+
+    def variance(self, ddof: int = 1) -> np.ndarray:
+        if self.count <= ddof:
+            raise ValueError(f"need more than {ddof} observations")
+        return self._m2 / (self.count - ddof)
+
+    def stderr(self) -> np.ndarray:
+        """Standard error of the mean."""
+        return np.sqrt(self.variance() / self.count)
+
+
+class StreamingQuantiles:
+    """Bounded uniform-reservoir quantile sketch (Vitter's algorithm R)."""
+
+    def __init__(self, capacity: int = 4096, rng: np.random.Generator | int | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._reservoir = np.empty(capacity)
+        self._seen = 0
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    def push(self, value: float) -> None:
+        if self._seen < self.capacity:
+            self._reservoir[self._seen] = value
+        else:
+            j = int(self._rng.integers(0, self._seen + 1))
+            if j < self.capacity:
+                self._reservoir[j] = value
+        self._seen += 1
+
+    def push_batch(self, values: np.ndarray) -> None:
+        for v in np.asarray(values, dtype=np.float64).ravel():
+            self.push(float(v))
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def quantile(self, q: float) -> float:
+        if self._seen == 0:
+            raise ValueError("no observations")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        data = self._reservoir[: min(self._seen, self.capacity)]
+        return float(np.quantile(data, q))
+
+    def median(self) -> float:
+        return self.quantile(0.5)

@@ -1,0 +1,98 @@
+"""Command-line interface: list, describe and run the experiment suite.
+
+Usage (installed as ``repro`` or via ``python -m repro.cli``)::
+
+    repro list
+    repro describe E5
+    repro run E2 --scale small --seed 0
+    repro run all --scale smoke --csv-dir out/
+
+Each run prints the experiment's ResultTable; ``--csv-dir`` additionally
+writes one CSV per experiment for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .experiments.registry import ALL_EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction suite for 'Simple Dynamics for Plurality Consensus' (SPAA'14)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments")
+
+    describe = sub.add_parser("describe", help="show an experiment's paper claim")
+    describe.add_argument("experiment", help="experiment id, e.g. E3")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
+    run.add_argument("--scale", default="small", choices=("smoke", "small", "paper"))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--csv-dir", default=None, help="directory for CSV exports")
+
+    plot = sub.add_parser("plot", help="render an ASCII figure (or 'all')")
+    plot.add_argument("figure", help="figure id, e.g. F3, or 'all'")
+    plot.add_argument("--scale", default="small", choices=("smoke", "small", "paper"))
+    plot.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_one(experiment_id: str, scale: str, seed: int, csv_dir: str | None) -> None:
+    spec = get_experiment(experiment_id)
+    start = time.perf_counter()
+    table = spec(scale=scale, seed=seed)
+    elapsed = time.perf_counter() - start
+    print(table.render())
+    print(f"[{spec.id}] completed in {elapsed:.1f}s at scale={scale!r}, seed={seed}")
+    if csv_dir is not None:
+        os.makedirs(csv_dir, exist_ok=True)
+        path = os.path.join(csv_dir, f"{spec.id.lower()}_{scale}.csv")
+        table.write_csv(path)
+        print(f"[{spec.id}] wrote {path}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for spec in ALL_EXPERIMENTS.values():
+            print(f"{spec.id:4s} {spec.title}")
+        return 0
+    if args.command == "describe":
+        spec = get_experiment(args.experiment)
+        print(f"{spec.id}: {spec.title}")
+        print(f"tags: {', '.join(spec.tags)}")
+        print()
+        print(spec.claim)
+        return 0
+    if args.command == "run":
+        targets = (
+            list(ALL_EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+        )
+        for experiment_id in targets:
+            _run_one(experiment_id, args.scale, args.seed, args.csv_dir)
+        return 0
+    if args.command == "plot":
+        from .experiments.figures import FIGURES, render_figure
+
+        targets = list(FIGURES) if args.figure.lower() == "all" else [args.figure]
+        for figure_id in targets:
+            print(render_figure(figure_id, scale=args.scale, seed=args.seed))
+            print()
+        return 0
+    return 2  # pragma: no cover — argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

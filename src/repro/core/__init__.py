@@ -1,0 +1,80 @@
+"""Core substrate: configurations, dynamics zoo, adversaries, process runner."""
+
+from .adversary import (
+    Adversary,
+    BalancingAdversary,
+    RandomAdversary,
+    ReviveAdversary,
+    TargetedAdversary,
+)
+from .config import Configuration
+from .dynamics import CountsDynamics, Dynamics
+from .majority import HPlurality, ThreeMajority, TwoSampleUniform, three_majority_law
+from .median import MedianDynamics
+from .population import (
+    PairwiseProtocol,
+    PairwiseVoter,
+    PopulationProcess,
+    PopulationResult,
+    UndecidedPopulation,
+)
+from .process import EnsembleResult, ProcessResult, run_ensemble, run_process
+from .rng import derive_seed, make_rng, spawn_streams, stream_iter
+from .threeinput import (
+    DISTINCT_PATTERNS,
+    PAIR_PATTERNS,
+    ThreeInputRule,
+    all_position_rules,
+    first_rule,
+    majority_rule,
+    majority_uniform_rule,
+    max_rule,
+    median_rule,
+    min_rule,
+    skewed_rule,
+)
+from .undecided import UndecidedState
+from .voter import TwoChoices, Voter
+
+__all__ = [
+    "Adversary",
+    "BalancingAdversary",
+    "Configuration",
+    "CountsDynamics",
+    "DISTINCT_PATTERNS",
+    "Dynamics",
+    "EnsembleResult",
+    "HPlurality",
+    "MedianDynamics",
+    "PairwiseProtocol",
+    "PairwiseVoter",
+    "PopulationProcess",
+    "PopulationResult",
+    "PAIR_PATTERNS",
+    "ProcessResult",
+    "RandomAdversary",
+    "ReviveAdversary",
+    "TargetedAdversary",
+    "ThreeInputRule",
+    "ThreeMajority",
+    "TwoChoices",
+    "TwoSampleUniform",
+    "UndecidedPopulation",
+    "UndecidedState",
+    "Voter",
+    "all_position_rules",
+    "derive_seed",
+    "first_rule",
+    "majority_rule",
+    "majority_uniform_rule",
+    "make_rng",
+    "max_rule",
+    "median_rule",
+    "min_rule",
+    "run_ensemble",
+    "run_process",
+    "skewed_rule",
+    "spawn_streams",
+    "stream_iter",
+    "three_majority_law",
+]

@@ -1,0 +1,143 @@
+"""F-bounded dynamic adversaries (paper, Section 3.1).
+
+A *T-bounded dynamic adversary* observes the full configuration at the end
+of each round and may arbitrarily recolor up to ``T`` agents before the
+next round begins.  Corollary 4 shows 3-majority still reaches
+``O(s/λ)``-plurality consensus when ``F = o(s/λ)``.
+
+Adversaries here operate on count vectors (the clique is anonymous, so a
+count-level action is fully general) and must satisfy two contracts,
+enforced by :meth:`Adversary.corrupt`:
+
+* total mass is preserved;
+* at most ``budget`` agents change color (L1 distance ≤ 2·budget).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "Adversary",
+    "TargetedAdversary",
+    "BalancingAdversary",
+    "RandomAdversary",
+    "ReviveAdversary",
+]
+
+
+class Adversary(abc.ABC):
+    """Base class; subclasses implement :meth:`_act` on a copy of counts."""
+
+    def __init__(self, budget: int):
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self.budget = int(budget)
+
+    @abc.abstractmethod
+    def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the corrupted counts; may assume a private mutable copy."""
+
+    def corrupt(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply the adversary, validating its contract."""
+        counts = np.asarray(counts, dtype=np.int64)
+        out = np.asarray(self._act(counts.copy(), rng), dtype=np.int64)
+        if out.shape != counts.shape:
+            raise RuntimeError("adversary changed the number of colors")
+        if out.sum() != counts.sum():
+            raise RuntimeError("adversary changed the number of agents")
+        if np.any(out < 0):
+            raise RuntimeError("adversary produced negative counts")
+        moved = int(np.abs(out - counts).sum()) // 2
+        if moved > self.budget:
+            raise RuntimeError(f"adversary moved {moved} agents, budget {self.budget}")
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(budget={self.budget})"
+
+
+class TargetedAdversary(Adversary):
+    """Worst-case strategy: move plurality supporters to the runner-up.
+
+    This directly attacks the bias ``s(c)``, reducing it by ``2F`` per
+    round — the strategy against which Corollary 4's bound is stated.
+    """
+
+    def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        top = int(np.argmax(counts))
+        masked = counts.copy()
+        masked[top] = -1
+        runner = int(np.argmax(masked))
+        move = min(self.budget, int(counts[top]))
+        counts[top] -= move
+        counts[runner] += move
+        return counts
+
+
+class BalancingAdversary(Adversary):
+    """Greedy bias-minimiser: repeatedly level the top two colors.
+
+    Moves up to ``budget`` agents from the current maximum to the current
+    minimum-among-supported colors, one greedy unit block at a time; a
+    stronger bias-reduction than :class:`TargetedAdversary` when several
+    colors are close to the top.
+    """
+
+    def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        remaining = self.budget
+        while remaining > 0:
+            top = int(np.argmax(counts))
+            low = int(np.argmin(counts))
+            if counts[top] - counts[low] <= 1:
+                break
+            # Move just enough to level, bounded by the budget.
+            move = min(remaining, int(counts[top] - counts[low]) // 2, int(counts[top]))
+            if move == 0:
+                break
+            counts[top] -= move
+            counts[low] += move
+            remaining -= move
+        return counts
+
+
+class RandomAdversary(Adversary):
+    """Noise model: recolor ``budget`` uniformly random agents uniformly.
+
+    Not adversarial in the game-theoretic sense; used as the control
+    strategy in E8 to separate "any perturbation" from "worst-case
+    perturbation".
+    """
+
+    def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = int(counts.sum())
+        if n == 0:
+            return counts
+        k = counts.size
+        move = min(self.budget, n)
+        # Choose `move` agents by color proportionally (hypergeometric via
+        # multivariate sampling without replacement).
+        victims = rng.multivariate_hypergeometric(counts, move)
+        counts -= victims
+        counts += rng.multinomial(move, np.full(k, 1.0 / k))
+        return counts
+
+
+class ReviveAdversary(Adversary):
+    """Keeps minority colors alive: feeds the weakest supported-or-dead color.
+
+    Moves agents from the plurality to the globally smallest count; against
+    3-majority this maximally delays Lemma 5's final extinction step.
+    """
+
+    def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        top = int(np.argmax(counts))
+        low = int(np.argmin(counts))
+        if top == low:
+            return counts
+        move = min(self.budget, int(counts[top]))
+        counts[top] -= move
+        counts[low] += move
+        return counts

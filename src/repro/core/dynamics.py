@@ -1,0 +1,119 @@
+"""Abstract interface shared by every dynamics in the library.
+
+A *dynamics* (paper, Definition 1) is a synchronous anonymous update rule:
+each round, every agent resamples its color from a law that depends only on
+the current configuration.  On the clique this makes the count vector a
+Markov chain, and each dynamics is fully described by its per-agent
+**color law** and/or a **step kernel** that samples the next configuration.
+
+Implementations provide at least one of:
+
+* :meth:`Dynamics.color_law` — the exact per-agent distribution of the next
+  color given the configuration (when a closed form exists; enables the
+  exact multinomial engine and the exact Markov-chain analysis);
+
+* :meth:`Dynamics.step` — one sampled round.  The default implementation
+  samples ``Multinomial(n, color_law(c))``, which is *exact* on the clique;
+  agent-level dynamics override it instead.
+
+Dynamics that carry extra per-agent state beyond the color (the
+undecided-state protocol) extend the state vector with additional slots and
+document the convention; see :mod:`repro.core.undecided`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .samplers import multinomial_step, multinomial_step_batch
+
+__all__ = ["Dynamics", "CountsDynamics"]
+
+
+class Dynamics(abc.ABC):
+    """Base class for synchronous anonymous dynamics on the clique."""
+
+    #: Human-readable identifier used in result tables.
+    name: str = "dynamics"
+
+    #: Number of neighbor samples each agent draws per round (h of the
+    #: paper's h-dynamics classification); informational.
+    sample_size: int = 1
+
+    #: Whether the rule uses any per-agent state beyond the current color.
+    uses_extra_state: bool = False
+
+    @abc.abstractmethod
+    def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample the configuration after one synchronous round."""
+
+    def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance a batch of replicas: ``counts`` has shape ``(R, k)``.
+
+        The default loops over rows; counts-level dynamics override with a
+        single broadcasted multinomial call.
+        """
+        counts = np.asarray(counts)
+        if counts.ndim != 2:
+            raise ValueError("step_many expects (R, k) counts")
+        return np.stack([self.step(row, rng) for row in counts])
+
+    def color_law(self, counts: np.ndarray) -> np.ndarray:
+        """Exact per-agent next-color distribution, if known in closed form.
+
+        Raises :class:`NotImplementedError` for dynamics without one (the
+        exact Markov analysis is then unavailable for this rule).
+        """
+        raise NotImplementedError(f"{self.name} has no closed-form color law")
+
+    def supports_exact_law(self) -> bool:
+        """True when :meth:`color_law` is implemented."""
+        try:
+            self.color_law(np.array([1, 1], dtype=np.int64))
+        except NotImplementedError:
+            return False
+        except Exception:
+            return True
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CountsDynamics(Dynamics):
+    """Dynamics defined by an exact per-agent color law.
+
+    Subclasses implement :meth:`color_law` (and optionally
+    :meth:`color_law_batch`); stepping is the exact multinomial draw, both
+    for single configurations and replica batches.
+    """
+
+    def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`color_law` over an ``(R, k)`` batch.
+
+        Default stacks the scalar implementation; subclasses with broadcast
+        arithmetic override for speed.
+        """
+        counts = np.asarray(counts)
+        if counts.ndim != 2:
+            raise ValueError("color_law_batch expects (R, k) counts")
+        return np.stack([self.color_law(row) for row in counts])
+
+    def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        n = int(counts.sum())
+        if n == 0:
+            return counts.copy()
+        return multinomial_step(n, self.color_law(counts), rng)
+
+    def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise ValueError("step_many expects (R, k) counts")
+        if counts.shape[0] == 0:
+            return counts.copy()
+        totals = counts.sum(axis=1)
+        laws = self.color_law_batch(counts)
+        return multinomial_step_batch(totals, laws, rng)

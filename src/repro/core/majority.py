@@ -1,0 +1,164 @@
+"""The paper's protagonist: 3-majority, and its h-sample generalisation.
+
+* :class:`ThreeMajority` — every agent samples three agents u.a.r. (with
+  replacement, possibly itself) and adopts the sample's majority color,
+  breaking three-way ties by taking the first sample.  Lemma 1 of the paper
+  gives the exact per-agent law
+
+      ``p_j = (c_j / n^3) * (n^2 + n c_j - sum_h c_h^2)``,
+
+  which is independent of the tie-break convention; we use it to run the
+  exact counts-level engine.  An agent-level step (explicit triple sampling)
+  is kept for cross-validation and for the tie-break ablation.
+
+* :class:`HPlurality` — the h-sample plurality rule of Section 4.3.  For
+  general ``h`` and ``k`` the per-agent law has no tractable closed form, so
+  stepping is agent-level: an ``(n, h)`` categorical sample matrix reduced
+  row-wise with uniform tie-breaking.  ``HPlurality(3)`` with uniform
+  tie-break has the same marginal law as :class:`ThreeMajority`.
+
+* :class:`TwoSampleUniform` — two samples, ties broken uniformly.  Its law
+  collapses to ``p_j = c_j / n`` (the polling/voter process), which is the
+  paper's remark that two samples are *not* enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dynamics import CountsDynamics, Dynamics
+from .samplers import categorical_matrix, row_plurality
+
+__all__ = ["ThreeMajority", "HPlurality", "TwoSampleUniform", "three_majority_law"]
+
+
+def three_majority_law(counts: np.ndarray) -> np.ndarray:
+    """Lemma 1's exact next-color law for the 3-majority dynamics.
+
+    ``p_j = (c_j / n^3) (n^2 + n c_j - sum_h c_h^2)``; rows sum to one by
+    the identity ``sum_j c_j = n``.
+    """
+    c = np.asarray(counts, dtype=np.float64)
+    n = c.sum(axis=-1, keepdims=True)
+    if np.any(n <= 0):
+        raise ValueError("empty configuration has no color law")
+    sq = (c * c).sum(axis=-1, keepdims=True)
+    return (c / n**3) * (n**2 + n * c - sq)
+
+
+class ThreeMajority(CountsDynamics):
+    """3-majority dynamics on the clique (exact counts-level engine).
+
+    Parameters
+    ----------
+    agent_level:
+        When True, :meth:`step` samples explicit triples per agent instead
+        of using the Lemma 1 multinomial — statistically identical, ~n/k
+        times slower; used by the validation tests and the engine ablation.
+    tie_break:
+        ``"first"`` (paper's rule) or ``"uniform"``; only observable in
+        agent-level mode and only through joint statistics — the marginal
+        law (hence the counts process) is the same, which the ablation
+        bench verifies empirically.
+    """
+
+    name = "3-majority"
+    sample_size = 3
+
+    def __init__(self, agent_level: bool = False, tie_break: str = "first"):
+        if tie_break not in ("first", "uniform"):
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        self.agent_level = bool(agent_level)
+        self.tie_break = tie_break
+
+    def color_law(self, counts: np.ndarray) -> np.ndarray:
+        return three_majority_law(np.asarray(counts, dtype=np.int64))
+
+    def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
+        return three_majority_law(np.asarray(counts, dtype=np.int64))
+
+    def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if not self.agent_level:
+            return super().step(counts, rng)
+        return self._agent_step(np.asarray(counts, dtype=np.int64), rng)
+
+    def _agent_step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = int(counts.sum())
+        k = counts.size
+        if n == 0:
+            return counts.copy()
+        triples = categorical_matrix(counts, n, 3, rng)
+        a, b, c = triples[:, 0], triples[:, 1], triples[:, 2]
+        out = np.where(b == c, b, a)  # bc pair wins; else default to first
+        out = np.where(a == b, a, out)
+        out = np.where(a == c, a, out)
+        if self.tie_break == "uniform":
+            distinct = (a != b) & (b != c) & (a != c)
+            if np.any(distinct):
+                pick = rng.integers(0, 3, size=int(distinct.sum()))
+                out[distinct] = triples[distinct, :][np.arange(pick.size), pick]
+        return np.bincount(out, minlength=k).astype(np.int64)
+
+
+class HPlurality(Dynamics):
+    """h-plurality dynamics: adopt the plurality of ``h`` uniform samples.
+
+    Ties among maximal sample colors are broken uniformly at random
+    (Section 4.3 of the paper).  Implemented agent-level; per-round cost is
+    O(n·h) sampling plus a chunked O(n·k) histogram reduction.
+    """
+
+    name = "h-plurality"
+
+    def __init__(self, h: int):
+        if h < 1:
+            raise ValueError(f"h must be >= 1, got {h}")
+        self.h = int(h)
+        self.sample_size = self.h
+        self.name = f"{h}-plurality"
+
+    def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        n = int(counts.sum())
+        k = counts.size
+        if n == 0:
+            return counts.copy()
+        if self.h == 1:
+            # 1-plurality is exactly the voter model: p = c / n.
+            from .samplers import multinomial_step
+
+            return multinomial_step(n, counts / n, rng)
+        samples = categorical_matrix(counts, n, self.h, rng)
+        winners = row_plurality(samples, k, rng)
+        return np.bincount(winners, minlength=k).astype(np.int64)
+
+    def color_law(self, counts: np.ndarray) -> np.ndarray:
+        """Exact law, available for ``h = 1`` and ``h = 3`` only."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if self.h == 1:
+            return counts / counts.sum()
+        if self.h == 3:
+            return three_majority_law(counts)
+        raise NotImplementedError(
+            f"no closed-form color law for h={self.h}; use the agent-level step"
+        )
+
+
+class TwoSampleUniform(CountsDynamics):
+    """Two samples with uniform tie-breaking — provably just polling.
+
+    ``p_j = (c_j/n)^2 + 2 (c_j/n)(1 - c_j/n) / 2 = c_j / n``: the same
+    marginal as the voter model, hence (paper, Section 1) it converges to a
+    minority with constant probability even under bias Θ(n).
+    """
+
+    name = "2-sample-uniform"
+    sample_size = 2
+
+    def color_law(self, counts: np.ndarray) -> np.ndarray:
+        c = np.asarray(counts, dtype=np.float64)
+        return c / c.sum()
+
+    def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
+        c = np.asarray(counts, dtype=np.float64)
+        return c / c.sum(axis=1, keepdims=True)

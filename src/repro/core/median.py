@@ -1,0 +1,83 @@
+"""Median dynamics of Doerr et al. [SPAA'11] — the paper's main foil.
+
+Each agent keeps its own value and samples two agents u.a.r.; its next
+value is the *median* of the three (values are totally ordered; colors are
+identified with their indices ``0 < 1 < ... < k-1``).  For ``k = 2`` this
+coincides with 3-majority restricted to {own, sample, sample}; for ``k >= 3``
+it solves *median* consensus, not plurality — Theorem 3 of the paper shows
+it lacks the uniform property, and experiment E5 shows it electing a
+non-plurality color.
+
+Exact counts-level law: for an agent with value ``x`` and sample CDF ``F``
+(``F(v) = (sum_{u <= v} c_u)/n``),
+
+    ``P(median <= v) = 1 - (1 - F(v))^2``  if ``v >= x``  (needs >= 1 sample <= v)
+    ``P(median <= v) = F(v)^2``            if ``v <  x``  (needs both samples <= v)
+
+so each current-value class has a closed-form next-value pmf and the next
+configuration is a sum of ``k`` independent multinomials (one per class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dynamics import CountsDynamics
+
+__all__ = ["MedianDynamics"]
+
+
+class MedianDynamics(CountsDynamics):
+    """Doerr et al.'s median rule: own value + two uniform samples."""
+
+    name = "median"
+    sample_size = 3  # own value counts as one of the three inputs
+    uses_extra_state = False
+
+    def class_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
+        """``M[x, v]``: probability a class-``x`` agent moves to value ``v``.
+
+        Built from the two-branch CDF formula above, vectorised over all
+        (x, v) pairs at O(k^2) cost.
+        """
+        c = np.asarray(counts, dtype=np.float64)
+        n = c.sum()
+        if n <= 0:
+            raise ValueError("empty configuration has no transition matrix")
+        k = c.size
+        F = np.cumsum(c) / n  # F[v] = P(sample <= v)
+        vals = np.arange(k)
+        # cdf_next[x, v] = P(median(x, A, B) <= v)
+        below = F**2  # row used where v < x
+        above = 1.0 - (1.0 - F) ** 2  # row used where v >= x
+        cdf_next = np.where(vals[None, :] >= vals[:, None], above[None, :], below[None, :])
+        pmf = np.diff(cdf_next, axis=1, prepend=0.0)
+        # Clamp tiny negative round-off and renormalise each row.
+        pmf = np.clip(pmf, 0.0, None)
+        pmf /= pmf.sum(axis=1, keepdims=True)
+        return pmf
+
+    def color_law(self, counts: np.ndarray) -> np.ndarray:
+        """Marginal next-value law of a uniformly random agent."""
+        c = np.asarray(counts, dtype=np.float64)
+        n = c.sum()
+        if n <= 0:
+            raise ValueError("empty configuration has no color law")
+        mat = self.class_transition_matrix(counts)
+        return (c / n) @ mat
+
+    def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        k = counts.size
+        if counts.sum() == 0:
+            return counts.copy()
+        mat = self.class_transition_matrix(counts)
+        occupied = np.nonzero(counts)[0]
+        draws = rng.multinomial(counts[occupied], mat[occupied])
+        return draws.sum(axis=0).astype(np.int64)
+
+    def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise ValueError("step_many expects (R, k) counts")
+        return np.stack([self.step(row, rng) for row in counts])

@@ -1,0 +1,300 @@
+"""Process runner: trajectories, stopping rules and replica ensembles.
+
+The plurality-consensus *process* couples a :class:`~repro.core.dynamics.Dynamics`
+with an initial configuration and (optionally) an F-bounded adversary, using
+exactly the round split of Corollary 4's proof::
+
+    C(t)  --dynamics-->  H(t+1)  --adversary-->  C(t+1)
+
+:func:`run_process` produces a single trajectory with full bookkeeping;
+:func:`run_ensemble` advances many independent replicas in lock-step through
+the batched step kernels — the workhorse of every experiment, giving
+empirical success probabilities and convergence-time distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .adversary import Adversary
+from .config import Configuration
+from .dynamics import Dynamics
+from .rng import make_rng, spawn_streams
+
+__all__ = ["ProcessResult", "EnsembleResult", "run_process", "run_ensemble"]
+
+
+@dataclass
+class ProcessResult:
+    """Outcome of a single trajectory.
+
+    Attributes
+    ----------
+    converged:
+        True iff a monochromatic configuration was reached within the
+        round budget.
+    winner:
+        The consensus color (None when not converged).
+    rounds:
+        Rounds executed until absorption (or the budget when not
+        converged).
+    plurality_color:
+        Plurality color of the *initial* configuration — the process
+        "succeeds" in the paper's sense iff ``winner == plurality_color``.
+    final_counts:
+        Configuration at the last executed round (color slots only; any
+        extra dynamics state is dropped).
+    trajectory:
+        Per-round count snapshots, shape ``(rounds+1, k)``; only when
+        recording was requested.
+    bias_history / plurality_history:
+        Per-round ``s(c)`` and max-count series (always recorded; O(1)
+        per round).
+    """
+
+    converged: bool
+    winner: int | None
+    rounds: int
+    plurality_color: int
+    final_counts: np.ndarray
+    bias_history: np.ndarray
+    plurality_history: np.ndarray
+    trajectory: np.ndarray | None = None
+
+    @property
+    def plurality_won(self) -> bool:
+        """True iff the process converged to the initial plurality color."""
+        return self.converged and self.winner == self.plurality_color
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of ``replicas`` independent trajectories.
+
+    All arrays have length ``replicas``; ``winners[i] == -1`` when replica
+    ``i`` did not converge within the budget.
+    """
+
+    rounds: np.ndarray
+    winners: np.ndarray
+    converged: np.ndarray
+    plurality_color: int
+    max_rounds: int
+    final_counts: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def replicas(self) -> int:
+        return int(self.rounds.size)
+
+    @property
+    def plurality_wins(self) -> np.ndarray:
+        return self.converged & (self.winners == self.plurality_color)
+
+    @property
+    def plurality_win_rate(self) -> float:
+        return float(self.plurality_wins.mean()) if self.replicas else float("nan")
+
+    @property
+    def convergence_rate(self) -> float:
+        return float(self.converged.mean()) if self.replicas else float("nan")
+
+    def rounds_summary(self) -> dict[str, float]:
+        """Mean/median/quantile summary over *converged* replicas."""
+        conv = self.rounds[self.converged]
+        if conv.size == 0:
+            return {"mean": float("nan"), "median": float("nan"), "p90": float("nan"), "max": float("nan")}
+        return {
+            "mean": float(conv.mean()),
+            "median": float(np.median(conv)),
+            "p90": float(np.quantile(conv, 0.9)),
+            "max": float(conv.max()),
+        }
+
+
+def _prepare_state(dynamics: Dynamics, initial: Configuration | np.ndarray) -> tuple[np.ndarray, int]:
+    """Build the dynamics' state vector and remember the color-slot count."""
+    counts = initial.counts if isinstance(initial, Configuration) else np.asarray(initial, dtype=np.int64)
+    k = counts.size
+    if dynamics.uses_extra_state:
+        extend = getattr(dynamics, "extend_counts", None)
+        if extend is None:
+            raise TypeError(f"{dynamics.name} uses extra state but has no extend_counts()")
+        state = extend(counts)
+    else:
+        state = counts.astype(np.int64, copy=True)
+    return state, k
+
+
+def _is_monochromatic(state: np.ndarray, k: int) -> bool:
+    n = int(state.sum())
+    colored = state[:k]
+    return bool(colored.max() == n)
+
+
+def run_process(
+    dynamics: Dynamics,
+    initial: Configuration | np.ndarray,
+    *,
+    max_rounds: int = 1_000_000,
+    adversary: Adversary | None = None,
+    record_trajectory: bool = False,
+    stop_at_plurality_fraction: float | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> ProcessResult:
+    """Run one trajectory until consensus (or a stopping rule) is reached.
+
+    Parameters
+    ----------
+    stop_at_plurality_fraction:
+        Optional early stop: halt once the top color holds at least this
+        fraction of agents (used by the phase-structure experiment E10 and
+        by Theorem 2's "doubling time" measurements).
+    """
+    generator = make_rng(rng)
+    state, k = _prepare_state(dynamics, initial)
+    n = int(state.sum())
+    if n == 0:
+        raise ValueError("cannot run a process with zero agents")
+    plurality_color = int(np.argmax(state[:k]))
+
+    bias_hist: list[int] = []
+    plur_hist: list[int] = []
+    traj: list[np.ndarray] = []
+
+    def snapshot() -> None:
+        colored = np.sort(state[:k])[::-1]
+        plur_hist.append(int(colored[0]))
+        bias_hist.append(int(colored[0] - (colored[1] if k > 1 else 0)))
+        if record_trajectory:
+            traj.append(state[:k].copy())
+
+    snapshot()
+    rounds = 0
+    converged = _is_monochromatic(state, k)
+    while not converged and rounds < max_rounds:
+        state = dynamics.step(state, generator)
+        if adversary is not None:
+            if dynamics.uses_extra_state:
+                colored = adversary.corrupt(state[:k], generator)
+                state = np.concatenate([colored, state[k:]])
+            else:
+                state = adversary.corrupt(state, generator)
+        rounds += 1
+        snapshot()
+        converged = _is_monochromatic(state, k)
+        if (
+            not converged
+            and stop_at_plurality_fraction is not None
+            and plur_hist[-1] >= stop_at_plurality_fraction * n
+        ):
+            break
+
+    winner = int(np.argmax(state[:k])) if converged else None
+    return ProcessResult(
+        converged=converged,
+        winner=winner,
+        rounds=rounds,
+        plurality_color=plurality_color,
+        final_counts=state[:k].copy(),
+        bias_history=np.asarray(bias_hist, dtype=np.int64),
+        plurality_history=np.asarray(plur_hist, dtype=np.int64),
+        trajectory=np.asarray(traj) if record_trajectory else None,
+    )
+
+
+def run_ensemble(
+    dynamics: Dynamics,
+    initial: Configuration | np.ndarray,
+    replicas: int,
+    *,
+    max_rounds: int = 1_000_000,
+    adversary: Adversary | None = None,
+    rng: int | np.random.Generator | None = None,
+    batch: bool = True,
+) -> EnsembleResult:
+    """Run ``replicas`` i.i.d. trajectories and gather their outcomes.
+
+    With ``batch=True`` (default) all live replicas advance together
+    through :meth:`Dynamics.step_many`; replicas drop out of the batch as
+    they absorb.  With ``batch=False`` each replica runs on its own spawned
+    stream — bit-identical to independent sequential runs, used in tests to
+    validate the batched path.
+    """
+    if replicas <= 0:
+        raise ValueError("need at least one replica")
+    state0, k = _prepare_state(dynamics, initial)
+    n = int(state0.sum())
+    plurality_color = int(np.argmax(state0[:k]))
+
+    if not batch:
+        streams = spawn_streams(rng if isinstance(rng, (int, type(None))) else None, replicas)
+        results = [
+            run_process(
+                dynamics,
+                initial,
+                max_rounds=max_rounds,
+                adversary=adversary,
+                rng=stream,
+            )
+            for stream in streams
+        ]
+        return EnsembleResult(
+            rounds=np.array([r.rounds for r in results], dtype=np.int64),
+            winners=np.array(
+                [r.winner if r.winner is not None else -1 for r in results], dtype=np.int64
+            ),
+            converged=np.array([r.converged for r in results], dtype=bool),
+            plurality_color=plurality_color,
+            max_rounds=max_rounds,
+            final_counts=np.stack([r.final_counts for r in results]),
+        )
+
+    generator = make_rng(rng)
+    states = np.tile(state0, (replicas, 1))
+    rounds = np.full(replicas, max_rounds, dtype=np.int64)
+    winners = np.full(replicas, -1, dtype=np.int64)
+    converged = np.zeros(replicas, dtype=bool)
+    final_counts = np.tile(state0[:k], (replicas, 1))
+
+    def absorb(live_idx: np.ndarray, live_states: np.ndarray, t: int) -> np.ndarray:
+        colored = live_states[:, :k]
+        mono = colored.max(axis=1) == n
+        if np.any(mono):
+            idx = live_idx[mono]
+            converged[idx] = True
+            rounds[idx] = t
+            winners[idx] = np.argmax(colored[mono], axis=1)
+            final_counts[idx] = colored[mono]
+        return ~mono
+
+    live_idx = np.arange(replicas)
+    alive = absorb(live_idx, states, 0)
+    live_idx = live_idx[alive]
+    states = states[alive]
+
+    t = 0
+    while live_idx.size and t < max_rounds:
+        t += 1
+        states = dynamics.step_many(states, generator)
+        if adversary is not None:
+            for r in range(states.shape[0]):
+                colored = adversary.corrupt(states[r, :k], generator)
+                states[r, :k] = colored
+        alive = absorb(live_idx, states, t)
+        if not np.all(alive):
+            live_idx = live_idx[alive]
+            states = states[alive]
+
+    if live_idx.size:
+        final_counts[live_idx] = states[:, :k]
+
+    return EnsembleResult(
+        rounds=rounds,
+        winners=winners,
+        converged=converged,
+        plurality_color=plurality_color,
+        max_rounds=max_rounds,
+        final_counts=final_counts,
+    )

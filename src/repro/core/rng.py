@@ -1,0 +1,77 @@
+"""Random-stream discipline for reproducible parallel experiments.
+
+All stochastic code in :mod:`repro` receives a :class:`numpy.random.Generator`
+explicitly; nothing reads global NumPy state.  Experiments that fan out over
+replicas or parameter points obtain *statistically independent* child streams
+via :func:`spawn_streams`, which wraps NumPy's ``SeedSequence.spawn``
+machinery.  This is the standard HPC practice: one root seed per experiment,
+one spawned stream per unit of work, so results are reproducible regardless
+of execution order or batching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "make_rng",
+    "spawn_streams",
+    "stream_iter",
+    "derive_seed",
+]
+
+
+def make_rng(seed: int | np.random.Generator | np.random.SeedSequence | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, an existing generator (returned unchanged so
+    callers can thread one stream through a pipeline), a
+    :class:`~numpy.random.SeedSequence`, or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_streams(seed: int | np.random.SeedSequence | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators from a single root seed.
+
+    The children are derived through ``SeedSequence.spawn`` so they are
+    independent of each other *and* of the parent stream; spawning the same
+    root twice yields identical children.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} streams")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def stream_iter(seed: int | np.random.SeedSequence | None) -> Iterator[np.random.Generator]:
+    """Yield an unbounded sequence of independent generators.
+
+    Useful when the number of work units is not known up front (e.g. an
+    adaptive sweep).  Each ``next()`` spawns one fresh child stream.
+    """
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    while True:
+        (child,) = root.spawn(1)
+        yield np.random.default_rng(child)
+
+
+def derive_seed(root_seed: int | None, *path: int | str) -> np.random.SeedSequence:
+    """Derive a named sub-seed deterministically from a root seed.
+
+    ``path`` components (experiment id, sweep index, replica index, ...) are
+    hashed into the entropy pool, so distinct paths give independent streams
+    and re-running with the same path reproduces the stream exactly.
+    """
+    digest: list[int] = []
+    for part in path:
+        if isinstance(part, str):
+            digest.extend(part.encode("utf-8"))
+        else:
+            digest.append(int(part) & 0xFFFFFFFF)
+    entropy: Sequence[int] = [root_seed if root_seed is not None else 0, *digest]
+    return np.random.SeedSequence(entropy)

@@ -1,0 +1,155 @@
+"""Vectorized sampling kernels shared by every dynamics implementation.
+
+Two execution engines are built on these kernels:
+
+* the **exact counts-level engine**: on the clique, agents update i.i.d.
+  conditioned on the current configuration, so the next configuration is
+  exactly ``Multinomial(n, p)`` for the per-agent color law ``p``
+  (:func:`multinomial_step`, batched over replicas via NumPy's broadcasting
+  multinomial);
+
+* the **agent-level engine** for rules without a tractable closed-form law
+  (h-plurality for general ``h``, arbitrary 3-input rules): draw an
+  ``(n, h)`` categorical sample matrix (:func:`categorical_matrix`) and
+  reduce each row with :func:`row_plurality` (uniform tie-breaking).
+
+Per the HPC guides the hot paths are loop-free; the only Python-level loop
+is row chunking to bound the transient memory of the one-hot count matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "multinomial_step",
+    "multinomial_step_batch",
+    "categorical_sample",
+    "categorical_matrix",
+    "row_plurality",
+    "row_counts_dense",
+]
+
+#: cells allowed in a transient (rows x k) one-hot count block (~256 MiB of
+#: int64 at the default); chunking keeps peak memory flat for any n.
+_DENSE_BLOCK_CELLS = 32 * 1024 * 1024
+
+
+def multinomial_step(n: int, pvals: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw one exact configuration update: ``Multinomial(n, pvals)``.
+
+    ``pvals`` must be a length-k probability vector (validated up to a small
+    tolerance, then renormalised so the multinomial sampler never sees a
+    sum > 1 from floating-point round-off).
+    """
+    p = np.asarray(pvals, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"pvals must be 1-D, got shape {p.shape}")
+    total = p.sum()
+    if not np.isfinite(total) or abs(total - 1.0) > 1e-9 or np.any(p < -1e-12):
+        raise ValueError(f"pvals is not a probability vector (sum={total!r})")
+    p = np.clip(p, 0.0, None)
+    p = p / p.sum()
+    return rng.multinomial(n, p).astype(np.int64)
+
+
+def multinomial_step_batch(
+    n: int | np.ndarray, pvals: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Batched exact update: row ``r`` of the result is ``Multinomial(n_r, pvals[r])``.
+
+    ``pvals`` has shape ``(R, k)``; ``n`` is a scalar or length-R vector.
+    This is how replica ensembles advance in lock-step with one NumPy call.
+    """
+    p = np.asarray(pvals, dtype=np.float64)
+    if p.ndim != 2:
+        raise ValueError(f"pvals must be 2-D, got shape {p.shape}")
+    sums = p.sum(axis=1)
+    if np.any(~np.isfinite(sums)) or np.any(np.abs(sums - 1.0) > 1e-9) or np.any(p < -1e-12):
+        raise ValueError("pvals rows are not probability vectors")
+    p = np.clip(p, 0.0, None)
+    p = p / p.sum(axis=1, keepdims=True)
+    return rng.multinomial(n, p).astype(np.int64)
+
+
+def categorical_sample(
+    counts: np.ndarray, size: int | tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Sample colors i.i.d. with ``P(color j) = counts[j] / sum(counts)``.
+
+    Implemented by inverse-CDF (``searchsorted`` on the cumulative count
+    vector over uniform integers in ``[0, n)``), which is exact in integer
+    arithmetic — no floating-point probability round-off — and an order of
+    magnitude faster than ``Generator.choice`` for large draws.
+    """
+    c = np.asarray(counts, dtype=np.int64)
+    if c.ndim != 1 or np.any(c < 0):
+        raise ValueError("counts must be a 1-D non-negative vector")
+    n = int(c.sum())
+    if n <= 0:
+        raise ValueError("counts must sum to a positive total")
+    cdf = np.cumsum(c)
+    u = rng.integers(0, n, size=size, dtype=np.int64)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)
+
+
+def categorical_matrix(
+    counts: np.ndarray, rows: int, h: int, rng: np.random.Generator
+) -> np.ndarray:
+    """An ``(rows, h)`` matrix of i.i.d. color samples from ``counts``."""
+    if rows < 0 or h <= 0:
+        raise ValueError(f"need rows >= 0 and h >= 1, got rows={rows}, h={h}")
+    return categorical_sample(counts, (rows, h), rng)
+
+
+def row_counts_dense(samples: np.ndarray, k: int) -> np.ndarray:
+    """Per-row color histogram of an ``(R, h)`` sample matrix → ``(R, k)``.
+
+    Uses the flattened-bincount trick: offset row ``r``'s samples by ``r*k``
+    and histogram once.  Caller is responsible for chunking if ``R*k`` is
+    large (see :func:`row_plurality`).
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise ValueError("samples must be (rows, h)")
+    rows = samples.shape[0]
+    if rows == 0:
+        return np.zeros((0, k), dtype=np.int64)
+    offsets = np.arange(rows, dtype=np.int64)[:, None] * k
+    flat = (samples + offsets).ravel()
+    return np.bincount(flat, minlength=rows * k).reshape(rows, k)
+
+
+def _plurality_of_block(block: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Row-wise plurality with uniform tie-breaking for one chunk."""
+    counts = row_counts_dense(block, k)
+    # A uniform jitter in [0, 0.5) cannot reorder distinct integer counts but
+    # picks uniformly at random among the colors sharing the maximum; colors
+    # with count 0 can never win because every row has h >= 1 samples.
+    jitter = rng.random(counts.shape) * 0.5
+    return np.argmax(counts + jitter, axis=1).astype(np.int64)
+
+
+def row_plurality(samples: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Plurality color of each row of an ``(R, h)`` sample matrix.
+
+    Ties among maximal colors are broken uniformly at random, matching the
+    paper's h-plurality rule.  The reduction runs in row chunks so that the
+    transient ``(chunk, k)`` histogram stays within a fixed memory budget.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise ValueError("samples must be (rows, h)")
+    rows = samples.shape[0]
+    if rows == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(samples < 0) or np.any(samples >= k):
+        raise ValueError("sample values out of range [0, k)")
+    chunk = max(1, _DENSE_BLOCK_CELLS // max(k, 1))
+    if rows <= chunk:
+        return _plurality_of_block(samples, k, rng)
+    out = np.empty(rows, dtype=np.int64)
+    for start in range(0, rows, chunk):
+        stop = min(start + chunk, rows)
+        out[start:stop] = _plurality_of_block(samples[start:stop], k, rng)
+    return out

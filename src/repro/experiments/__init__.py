@@ -1,0 +1,42 @@
+"""Experiment suite: one module per paper claim (see DESIGN.md §4)."""
+
+from .harness import SCALES, ExperimentSpec, SweepPoint, ensemble_at, grid, sweep
+from .figures import FIGURES, figure_ids, render_figure
+from .parallel import parallel_sweep
+from .plotting import ascii_plot
+from .registry import ALL_EXPERIMENTS, experiment_ids, get_experiment
+from .results import ResultTable
+from .workloads import (
+    geometric_tail,
+    lemma8_start,
+    lemma10_start,
+    paper_biased,
+    soda15_gap,
+    theorem1_bias,
+    theorem2_start,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentSpec",
+    "FIGURES",
+    "ResultTable",
+    "SCALES",
+    "SweepPoint",
+    "ascii_plot",
+    "ensemble_at",
+    "experiment_ids",
+    "figure_ids",
+    "geometric_tail",
+    "get_experiment",
+    "grid",
+    "lemma10_start",
+    "lemma8_start",
+    "parallel_sweep",
+    "render_figure",
+    "paper_biased",
+    "soda15_gap",
+    "sweep",
+    "theorem1_bias",
+    "theorem2_start",
+]

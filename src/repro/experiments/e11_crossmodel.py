@@ -1,0 +1,163 @@
+"""E11 — Parallel rounds vs the sequential population model.
+
+Paper claim (related work, Sections 1-2)
+----------------------------------------
+The paper's model is the *discrete-time synchronous parallel* one; much of
+the prior art ([2] Angluin et al., [21] Perron et al., [8], [3]) lives in
+the *sequential population model* (one random pairwise interaction per
+tick).  The paper emphasises that results do not transfer mechanically:
+the undecided-state protocol's O(n log n)-tick analyses hold in
+expectation, for k = Θ(1) and s = Θ(n) only, and sequential polling keeps
+the voter martingale's constant failure probability.
+
+Measurement
+-----------
+With tick counts normalised by n (≈ one parallel round of interactions):
+
+* (a) sequential pairwise voter vs parallel voter on a biased binary
+  configuration: both elect the minority at the martingale rate — the
+  failure mode is model-independent;
+* (b) sequential undecided-state (Angluin-style one-way protocol) vs the
+  parallel undecided-state dynamics on binary Θ(n)-bias configurations:
+  both converge reliably, with normalised times within a small constant
+  factor — the O(n log n) tick bound matches O(log n) parallel rounds;
+* (c) the same protocol at growing k with only √-order bias: the
+  sequential version's reliability degrades (the paper's point that the
+  k = Θ(1), s = Θ(n) restrictions are real).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.population import PairwiseVoter, PopulationProcess, UndecidedPopulation
+from ..core.process import run_ensemble
+from ..core.rng import derive_seed
+from ..core.undecided import UndecidedState
+from ..core.voter import Voter
+from .harness import ExperimentSpec
+from .results import ResultTable
+
+_SCALE = {
+    "smoke": dict(n=200, reps=30, ks=[2, 6], bias_fraction=0.4),
+    "small": dict(n=500, reps=60, ks=[2, 4, 8, 16], bias_fraction=0.4),
+    "paper": dict(n=2_000, reps=200, ks=[2, 4, 8, 16, 32], bias_fraction=0.4),
+}
+
+
+def run(scale: str, seed: int) -> ResultTable:
+    cfg = _SCALE[scale]
+    n = cfg["n"]
+    table = ResultTable(
+        title="E11: parallel model vs sequential population model",
+        columns=[
+            "panel",
+            "model",
+            "protocol",
+            "n",
+            "k",
+            "bias",
+            "replicas",
+            "plurality_win_rate",
+            "median_parallel_rounds",
+        ],
+    )
+
+    # (a) voter martingale in both models.
+    config = Configuration.two_color(n, bias=int(cfg["bias_fraction"] * n))
+    reps = cfg["reps"]
+    seq = PopulationProcess(PairwiseVoter())
+    seq_wins, seq_rounds = [], []
+    for rep in range(reps):
+        rng = np.random.default_rng(derive_seed(seed, "E11a", rep))
+        res = seq.run(config.counts, rng=rng)
+        seq_wins.append(res.plurality_won)
+        seq_rounds.append(res.parallel_rounds(n))
+    table.add_row(
+        panel="a-voter",
+        model="sequential",
+        protocol="pairwise-voter",
+        n=n,
+        k=2,
+        bias=config.bias,
+        replicas=reps,
+        plurality_win_rate=float(np.mean(seq_wins)),
+        median_parallel_rounds=float(np.median(seq_rounds)),
+    )
+    ens = run_ensemble(
+        Voter(), config, reps, max_rounds=10_000_000,
+        rng=np.random.default_rng(derive_seed(seed, "E11a-par")),
+    )
+    table.add_row(
+        panel="a-voter",
+        model="parallel",
+        protocol="voter",
+        n=n,
+        k=2,
+        bias=config.bias,
+        replicas=reps,
+        plurality_win_rate=ens.plurality_win_rate,
+        median_parallel_rounds=ens.rounds_summary()["median"],
+    )
+
+    # (b)+(c) undecided-state across k.
+    for k in cfg["ks"]:
+        if k == 2:
+            cfg_k = Configuration.two_color(n, bias=int(cfg["bias_fraction"] * n))
+        else:
+            s = max(2, int(np.sqrt(n * k) / 2))
+            cfg_k = Configuration.biased(n, k, s)
+        seq = PopulationProcess(UndecidedPopulation())
+        wins, rounds = [], []
+        for rep in range(reps):
+            rng = np.random.default_rng(derive_seed(seed, "E11b", k, rep))
+            res = seq.run(cfg_k.counts, rng=rng, max_ticks=4_000 * n)
+            wins.append(res.plurality_won)
+            rounds.append(res.parallel_rounds(n))
+        table.add_row(
+            panel="b-undecided" if k == 2 else "c-undecided-k",
+            model="sequential",
+            protocol="undecided-population",
+            n=n,
+            k=k,
+            bias=cfg_k.bias,
+            replicas=reps,
+            plurality_win_rate=float(np.mean(wins)),
+            median_parallel_rounds=float(np.median(rounds)),
+        )
+        ens = run_ensemble(
+            UndecidedState(), cfg_k, reps, max_rounds=100_000,
+            rng=np.random.default_rng(derive_seed(seed, "E11b-par", k)),
+        )
+        table.add_row(
+            panel="b-undecided" if k == 2 else "c-undecided-k",
+            model="parallel",
+            protocol="undecided-state",
+            n=n,
+            k=k,
+            bias=cfg_k.bias,
+            replicas=reps,
+            plurality_win_rate=ens.plurality_win_rate,
+            median_parallel_rounds=ens.rounds_summary()["median"],
+        )
+    table.add_note(
+        "panel a: both models fail at the martingale rate ≈ c1/n; panel b: tick/n time "
+        "within a constant of parallel rounds; panel c: reliability at √-bias degrades "
+        "as k grows (the k=Θ(1), s=Θ(n) premises of the sequential analyses are real)"
+    )
+    return table
+
+
+SPEC = ExperimentSpec(
+    id="E11",
+    title="Cross-model: synchronous parallel vs sequential population",
+    claim=(
+        "Sequential pairwise polling inherits the voter martingale's constant failure "
+        "probability; the sequential undecided-state protocol matches its parallel "
+        "counterpart at k=Θ(1), s=Θ(n) after tick/n normalisation, and degrades outside "
+        "that regime."
+    ),
+    run=run,
+    tags=("cross-model", "related-work"),
+)

@@ -1,0 +1,94 @@
+"""Dependency-free ASCII plots for experiment series.
+
+The offline environment has no matplotlib; experiments instead render
+series as monospace scatter/line plots, which is enough to eyeball the
+shapes the paper predicts (straight lines on the right axes, plateaus,
+crossovers).  Each distinct series gets its own glyph; overlapping points
+show the later series' glyph.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    out = []
+    for v in values:
+        if log:
+            if v <= 0:
+                raise ValueError("log-scale axis requires positive values")
+            out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (xs, ys) series on one canvas.
+
+    Parameters mirror a minimal matplotlib: axis log flags, labels, title.
+    Returns the multi-line string (caller prints it).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    pts: dict[str, tuple[list[float], list[float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r} has mismatched lengths")
+        if len(xs) == 0:
+            continue
+        pts[name] = (_transform(xs, logx), _transform(ys, logy))
+    if not pts:
+        raise ValueError("all series empty")
+
+    all_x = [v for xs, _ in pts.values() for v in xs]
+    all_y = [v for _, ys in pts.values() for v in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(pts.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = glyph
+
+    def fmt(v: float, log: bool) -> str:
+        if log:
+            return f"1e{v:.2g}"
+        return f"{v:.4g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} (top={fmt(y_hi, logy)}, bottom={fmt(y_lo, logy)})")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in canvas:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    lines.append(f"{xlabel}: left={fmt(x_lo, logx)}, right={fmt(x_hi, logx)}")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(pts)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

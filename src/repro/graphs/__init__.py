@@ -1,0 +1,28 @@
+"""General-graph agent-level substrate (extension beyond the paper's clique)."""
+
+from .agentsim import GraphPluralityProcess, GraphProcessResult, GraphState, random_coloring
+from .topology import (
+    Topology,
+    barbell,
+    clique,
+    complete_bipartite,
+    cycle,
+    erdos_renyi,
+    random_regular,
+    torus,
+)
+
+__all__ = [
+    "GraphPluralityProcess",
+    "GraphProcessResult",
+    "GraphState",
+    "Topology",
+    "barbell",
+    "clique",
+    "complete_bipartite",
+    "cycle",
+    "erdos_renyi",
+    "random_coloring",
+    "random_regular",
+    "torus",
+]

@@ -1,0 +1,154 @@
+"""Agent-level simulation of plurality dynamics on arbitrary topologies.
+
+On a general graph the configuration counts are no longer a Markov chain —
+*where* each color sits matters — so the simulator tracks the full color
+vector (one entry per agent).  The update per round is fully vectorized:
+
+1. every agent draws ``h`` uniform picks from its CSR neighborhood
+   (:meth:`~repro.graphs.topology.Topology.sample_neighbors`);
+2. the picks are gathered into colors and reduced row-wise (plurality with
+   uniform tie-break, or any :class:`~repro.core.threeinput.ThreeInputRule`).
+
+On the clique-with-self-loops topology this reproduces the paper's process
+exactly, which the test suite uses to cross-validate the counts-level
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.rng import make_rng
+from ..core.samplers import row_plurality
+from ..core.threeinput import ThreeInputRule
+from .topology import Topology
+
+__all__ = ["GraphState", "GraphPluralityProcess", "random_coloring"]
+
+
+def random_coloring(
+    topology: Topology, configuration: Configuration, rng: np.random.Generator
+) -> np.ndarray:
+    """Assign the configuration's counts to uniformly random agents."""
+    if configuration.n != topology.n:
+        raise ValueError(
+            f"configuration has {configuration.n} agents, topology has {topology.n}"
+        )
+    colors = np.repeat(
+        np.arange(configuration.k, dtype=np.int64), configuration.counts
+    )
+    rng.shuffle(colors)
+    return colors
+
+
+@dataclass
+class GraphState:
+    """A snapshot of the per-agent colors plus derived counts."""
+
+    colors: np.ndarray
+    k: int
+
+    def counts(self) -> np.ndarray:
+        return np.bincount(self.colors, minlength=self.k).astype(np.int64)
+
+    def configuration(self) -> Configuration:
+        return Configuration(self.counts())
+
+    @property
+    def is_monochromatic(self) -> bool:
+        return bool((self.colors == self.colors[0]).all())
+
+
+class GraphPluralityProcess:
+    """h-plurality (or a 3-input rule) on an arbitrary topology.
+
+    Parameters
+    ----------
+    topology:
+        Sampling pools per agent (include self-loops for the paper's model).
+    h:
+        Neighbor samples per agent per round.  Ignored when ``rule`` is
+        given (3-input rules always draw 3 samples).
+    rule:
+        Optional :class:`ThreeInputRule` applied to the 3-sample columns
+        instead of the plurality reduction.
+    """
+
+    def __init__(self, topology: Topology, h: int = 3, rule: ThreeInputRule | None = None):
+        if rule is not None:
+            h = 3
+        if h < 1:
+            raise ValueError("h must be >= 1")
+        self.topology = topology
+        self.h = int(h)
+        self.rule = rule
+
+    def step(self, colors: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """One synchronous round; returns the new per-agent color vector."""
+        colors = np.asarray(colors, dtype=np.int64)
+        if colors.size != self.topology.n:
+            raise ValueError("color vector does not match topology size")
+        picks = self.topology.sample_neighbors(self.h, rng)
+        seen = colors[picks]
+        if self.rule is not None:
+            return self.rule.apply(seen[:, 0], seen[:, 1], seen[:, 2], rng)
+        if self.h == 1:
+            return seen[:, 0]
+        return row_plurality(seen, k, rng)
+
+    def run(
+        self,
+        initial: GraphState | np.ndarray,
+        *,
+        k: int | None = None,
+        max_rounds: int = 100_000,
+        rng: int | np.random.Generator | None = None,
+        record_counts: bool = False,
+    ) -> "GraphProcessResult":
+        """Run to consensus or the round budget."""
+        generator = make_rng(rng)
+        if isinstance(initial, GraphState):
+            colors = initial.colors.copy()
+            k = initial.k
+        else:
+            colors = np.asarray(initial, dtype=np.int64).copy()
+            if k is None:
+                k = int(colors.max()) + 1
+        counts0 = np.bincount(colors, minlength=k)
+        plurality_color = int(np.argmax(counts0))
+        history: list[np.ndarray] = [counts0.astype(np.int64)]
+
+        rounds = 0
+        while rounds < max_rounds and not (colors == colors[0]).all():
+            colors = self.step(colors, k, generator)
+            rounds += 1
+            if record_counts:
+                history.append(np.bincount(colors, minlength=k).astype(np.int64))
+        converged = bool((colors == colors[0]).all())
+        return GraphProcessResult(
+            converged=converged,
+            winner=int(colors[0]) if converged else None,
+            rounds=rounds,
+            plurality_color=plurality_color,
+            final_state=GraphState(colors, k),
+            counts_history=np.asarray(history) if record_counts else None,
+        )
+
+
+@dataclass
+class GraphProcessResult:
+    """Outcome of a graph-level run (mirrors :class:`ProcessResult`)."""
+
+    converged: bool
+    winner: int | None
+    rounds: int
+    plurality_color: int
+    final_state: GraphState
+    counts_history: np.ndarray | None = None
+
+    @property
+    def plurality_won(self) -> bool:
+        return self.converged and self.winner == self.plurality_color

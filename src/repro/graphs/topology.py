@@ -1,0 +1,123 @@
+"""Network topologies packed for vectorized neighbor sampling.
+
+The paper's model is the clique, where anonymous counts suffice.  On a
+general graph each agent samples among *its own* neighbors, so the
+simulator needs per-agent neighborhoods.  :class:`Topology` stores them in
+CSR form (``offsets``/``neighbors`` arrays) so that drawing ``h`` uniform
+neighbor samples for *all* agents is two vectorized gathers — no Python
+loop over nodes.
+
+Per the paper's convention the sampling pool of an agent *includes the
+agent itself*; :func:`Topology.from_networkx` therefore adds a self-loop to
+every node by default (``include_self=True``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "Topology",
+    "clique",
+    "cycle",
+    "torus",
+    "random_regular",
+    "erdos_renyi",
+    "complete_bipartite",
+    "barbell",
+]
+
+
+class Topology:
+    """CSR-packed undirected graph with per-node sampling pools."""
+
+    def __init__(self, offsets: np.ndarray, neighbors: np.ndarray, name: str = "graph"):
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.neighbors = np.asarray(neighbors, dtype=np.int64)
+        self.name = name
+        if self.offsets.ndim != 1 or self.offsets[0] != 0:
+            raise ValueError("offsets must be 1-D and start at 0")
+        if self.offsets[-1] != self.neighbors.size:
+            raise ValueError("offsets[-1] must equal len(neighbors)")
+        if np.any(np.diff(self.offsets) <= 0):
+            raise ValueError("every node needs a non-empty sampling pool")
+        self.degrees = np.diff(self.offsets)
+
+    @property
+    def n(self) -> int:
+        return int(self.offsets.size - 1)
+
+    @property
+    def is_regular(self) -> bool:
+        return bool(np.all(self.degrees == self.degrees[0]))
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, include_self: bool = True, name: str | None = None) -> "Topology":
+        """Pack a networkx graph; nodes must be 0..n-1 or are relabelled."""
+        if graph.number_of_nodes() == 0:
+            raise ValueError("empty graph")
+        graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+        n = graph.number_of_nodes()
+        adj: list[np.ndarray] = []
+        for u in range(n):
+            nbrs = sorted(graph.neighbors(u))
+            if include_self and not graph.has_edge(u, u):
+                nbrs = sorted([*nbrs, u])
+            if not nbrs:
+                raise ValueError(f"node {u} has an empty sampling pool")
+            adj.append(np.asarray(nbrs, dtype=np.int64))
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum([a.size for a in adj])
+        neighbors = np.concatenate(adj)
+        return cls(offsets, neighbors, name=name or f"nx-{type(graph).__name__}")
+
+    def sample_neighbors(self, h: int, rng: np.random.Generator) -> np.ndarray:
+        """``(n, h)`` matrix: ``h`` uniform (with-replacement) neighbor picks per node."""
+        if h < 1:
+            raise ValueError("h must be >= 1")
+        deg = self.degrees
+        start = self.offsets[:-1]
+        u = rng.random((self.n, h))
+        idx = start[:, None] + (u * deg[:, None]).astype(np.int64)
+        return self.neighbors[idx]
+
+    def __repr__(self) -> str:
+        return f"Topology(name={self.name!r}, n={self.n}, edges~{self.neighbors.size // 2})"
+
+
+def clique(n: int) -> Topology:
+    """Complete graph with self-loops — the paper's model."""
+    if n < 1:
+        raise ValueError("clique needs n >= 1")
+    offsets = np.arange(n + 1, dtype=np.int64) * n
+    neighbors = np.tile(np.arange(n, dtype=np.int64), n)
+    return Topology(offsets, neighbors, name=f"clique-{n}")
+
+
+def cycle(n: int) -> Topology:
+    return Topology.from_networkx(nx.cycle_graph(n), name=f"cycle-{n}")
+
+
+def torus(rows: int, cols: int) -> Topology:
+    g = nx.grid_2d_graph(rows, cols, periodic=True)
+    return Topology.from_networkx(g, name=f"torus-{rows}x{cols}")
+
+
+def random_regular(n: int, d: int, seed: int | None = None) -> Topology:
+    g = nx.random_regular_graph(d, n, seed=seed)
+    return Topology.from_networkx(g, name=f"rr-{d}-{n}")
+
+
+def erdos_renyi(n: int, p: float, seed: int | None = None) -> Topology:
+    """G(n, p); isolated nodes keep a self-loop-only pool."""
+    g = nx.fast_gnp_random_graph(n, p, seed=seed)
+    return Topology.from_networkx(g, name=f"gnp-{n}-{p}")
+
+
+def complete_bipartite(a: int, b: int) -> Topology:
+    return Topology.from_networkx(nx.complete_bipartite_graph(a, b), name=f"kbb-{a}x{b}")
+
+
+def barbell(m: int, path: int = 0) -> Topology:
+    return Topology.from_networkx(nx.barbell_graph(m, path), name=f"barbell-{m}-{path}")

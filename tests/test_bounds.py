@@ -1,0 +1,122 @@
+"""Tests for the concentration bounds and theorem-side calculators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    chernoff_upper_additive,
+    chernoff_upper_mult,
+    corollary1_rounds,
+    jensen_mean_square,
+    lambda_for,
+    lemma10_critical_bias,
+    lemma10_probability_floor,
+    required_bias,
+    required_bias_general,
+    reverse_chernoff,
+    theorem1_rounds,
+    theorem2_k_range,
+    theorem2_lower_rounds,
+    theorem4_lower_rounds,
+)
+
+
+class TestChernoff:
+    def test_mult_form_switch(self):
+        # delta <= 4 uses exp(-d^2 mu/4), delta > 4 uses exp(-d mu).
+        assert chernoff_upper_mult(10, 2) == pytest.approx(math.exp(-10))
+        assert chernoff_upper_mult(10, 5) == pytest.approx(math.exp(-50))
+
+    def test_mult_rejects_bad(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_mult(-1, 1)
+        with pytest.raises(ValueError):
+            chernoff_upper_mult(1, 0)
+
+    def test_additive_form(self):
+        assert chernoff_upper_additive(100, 10) == pytest.approx(math.exp(-2))
+
+    def test_bounds_actually_bound_binomial(self, rng):
+        # Empirical sanity: the additive bound dominates tail frequency.
+        n, p = 2000, 0.3
+        draws = rng.binomial(n, p, size=20_000)
+        lam = 60.0
+        emp = float((draws >= n * p + lam).mean())
+        assert emp <= chernoff_upper_additive(n, lam) + 0.01
+
+    def test_reverse_chernoff_is_lower_bound(self, rng):
+        # X ~ Binomial(m, p), p <= 1/4: P(X - mu >= t) >= exp(-2t^2/mu)/4.
+        m, p = 4000, 0.2
+        mu = m * p
+        t = 40.0
+        draws = rng.binomial(m, p, size=40_000)
+        emp = float((draws - mu >= t).mean())
+        assert emp >= reverse_chernoff(mu, t) - 0.01
+
+    def test_reverse_rejects_bad(self):
+        with pytest.raises(ValueError):
+            reverse_chernoff(0, 1)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=10))
+    def test_jensen(self, values):
+        lhs, rhs = jensen_mean_square(np.array(values))
+        assert lhs <= rhs + 1e-6
+
+
+class TestCalculators:
+    def test_lambda_small_k_regime(self):
+        # 2k below the cube-root cap.
+        assert lambda_for(1_000_000, 3) == pytest.approx(6.0)
+
+    def test_lambda_large_k_regime(self):
+        n = 1_000_000
+        cap = (n / math.log(n)) ** (1 / 3)
+        assert lambda_for(n, 10_000) == pytest.approx(cap)
+
+    def test_required_bias_monotone_in_k(self):
+        biases = [required_bias(100_000, k) for k in (2, 4, 8, 16)]
+        assert all(a < b for a, b in zip(biases, biases[1:]))
+
+    def test_required_bias_formula(self):
+        n, lam = 10_000, 6.0
+        expected = 72 * math.sqrt(2 * lam * n * math.log(n))
+        assert required_bias_general(n, lam) == pytest.approx(expected)
+
+    def test_rounds_scales(self):
+        assert theorem1_rounds(math.e**2, 3.0) == pytest.approx(6.0)
+        assert corollary1_rounds(1_000_000, 4) == pytest.approx(8 * math.log(1_000_000))
+
+    def test_theorem2(self):
+        assert theorem2_lower_rounds(math.e**3, 5) == pytest.approx(15.0)
+        assert theorem2_k_range(1_000_000) == pytest.approx((1_000_000 / math.log(1_000_000)) ** 0.25)
+
+    def test_theorem4(self):
+        assert theorem4_lower_rounds(100, 5) == pytest.approx(4.0)
+
+    def test_lemma10(self):
+        assert lemma10_critical_bias(900, 4) == pytest.approx(10.0)
+        assert lemma10_probability_floor() == pytest.approx(1 / (16 * math.e))
+
+    def test_validation_errors(self):
+        for fn, args in [
+            (lambda_for, (1, 1)),
+            (required_bias_general, (10, -1)),
+            (theorem1_rounds, (1, 1)),
+            (theorem2_lower_rounds, (1, 1)),
+            (theorem4_lower_rounds, (0, 1)),
+            (lemma10_critical_bias, (0, 1)),
+        ]:
+            with pytest.raises(ValueError):
+                fn(*args)
+
+    @given(st.integers(min_value=10, max_value=10**8), st.integers(min_value=1, max_value=10**6))
+    def test_lambda_bounds_property(self, n, k):
+        lam = lambda_for(n, k)
+        assert 0 < lam <= 2 * k
+        assert lam <= (n / math.log(n)) ** (1 / 3) + 1e-9

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.scale == "small"
+        assert args.seed == 0
+        assert args.csv_dir is None
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E10" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "e4"]) == 0
+        out = capsys.readouterr().out
+        assert "E4" in out and "Ω(k log n)" in out
+
+    def test_describe_unknown(self):
+        with pytest.raises(KeyError):
+            main(["describe", "E77"])
+
+    def test_run_smoke_with_csv(self, capsys, tmp_path):
+        assert main(["run", "E1", "--scale", "smoke", "--csv-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "completed" in out
+        assert (tmp_path / "e1_smoke.csv").exists()

@@ -1,0 +1,148 @@
+"""Tests for the paper's expectation formulas (Lemmas 1, 2, 4, 5, 6, 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.expectations import (
+    bias_growth_factor,
+    expected_last_step_extinction_prob,
+    expected_minority_mass,
+    expected_next_bias_lower_bound,
+    expected_next_counts,
+    lemma6_growth_cap,
+    lemma9_growth_cap,
+    minority_mass_decay_factor,
+)
+from repro.core.majority import ThreeMajority, three_majority_law
+
+counts_strategy = st.lists(st.integers(min_value=0, max_value=300), min_size=2, max_size=8).filter(
+    lambda xs: sum(xs) > 0
+)
+
+
+class TestLemma1:
+    def test_matches_law_times_n(self):
+        c = np.array([50, 30, 20])
+        assert np.allclose(expected_next_counts(c), three_majority_law(c) * 100)
+
+    def test_conserves_mass_in_expectation(self):
+        c = np.array([7, 5, 3, 1])
+        assert expected_next_counts(c).sum() == pytest.approx(16.0)
+
+    def test_monochromatic_fixed_point(self):
+        c = np.array([0, 10])
+        assert np.allclose(expected_next_counts(c), c)
+
+    def test_empirical_one_round_mean(self, rng):
+        c = np.array([600, 250, 150])
+        mu = expected_next_counts(c)
+        reps = 3000
+        out = ThreeMajority().step_many(np.tile(c, (reps, 1)), rng)
+        stderr = np.sqrt(1000 * 0.25 / reps)
+        assert np.all(np.abs(out.mean(axis=0) - mu) < 6 * stderr)
+
+    @given(counts_strategy)
+    def test_mass_conservation_property(self, counts):
+        mu = expected_next_counts(np.array(counts))
+        assert mu.sum() == pytest.approx(sum(counts))
+        assert (mu >= -1e-9).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            expected_next_counts(np.array([0, 0]))
+
+
+class TestLemma2:
+    @given(counts_strategy)
+    def test_bound_is_respected_by_exact_expectation(self, counts):
+        """Lemma 2 proven exactly: mu_(1) - mu_(j) >= s(1 + f1(1-f1))."""
+        c = np.sort(np.array(counts))[::-1]
+        if c.size < 2:
+            return
+        mu = expected_next_counts(c)
+        bound = expected_next_bias_lower_bound(c)
+        # The lemma bounds mu_1 - mu_j for every j != 1 (with sorted c).
+        assert mu[0] - mu[1:].max() >= bound - 1e-9
+
+    def test_growth_factor_range(self):
+        assert bias_growth_factor(np.array([50, 50])) == pytest.approx(1.25)
+        assert bias_growth_factor(np.array([100, 0])) == pytest.approx(1.0)
+
+    def test_bound_zero_when_tied(self):
+        assert expected_next_bias_lower_bound(np.array([5, 5])) == 0.0
+
+
+class TestLemma4:
+    def test_decay_below_7_9_in_range(self):
+        # c1 = 2n/3 exactly: the proof shows mu_{-1} <= (7/9) * minority.
+        c = np.array([600, 200, 100], dtype=np.int64)  # n=900, c1=600=2n/3
+        ratio = minority_mass_decay_factor(c)
+        assert ratio <= 7 / 9 + 1e-9
+
+    @given(st.integers(min_value=9, max_value=600))
+    def test_decay_property_in_lemma_range(self, n):
+        # Build c1 in [2n/3, n-1], rest split over two colors.
+        c1 = max((2 * n) // 3 + 1, 1)
+        if c1 >= n:
+            return
+        rest = n - c1
+        c = np.array([c1, (rest + 1) // 2, rest // 2])
+        ratio = minority_mass_decay_factor(c)
+        assert ratio <= 8 / 9 + 1e-9
+
+    def test_zero_minority(self):
+        assert minority_mass_decay_factor(np.array([10, 0])) == 0.0
+
+
+class TestLemma5:
+    def test_extinction_probability_close_to_one(self):
+        n = 100_000
+        c = np.array([n - 10, 5, 5])
+        p = expected_last_step_extinction_prob(c)
+        assert p > 0.99
+
+    def test_extinction_matches_simulation(self, rng):
+        c = np.array([9_990, 6, 4])
+        p = expected_last_step_extinction_prob(c)
+        reps = 2_000
+        out = ThreeMajority().step_many(np.tile(c, (reps, 1)), rng)
+        emp = float((out[:, 1:].sum(axis=1) == 0).mean())
+        assert emp >= p - 0.05  # Markov bound is a lower bound
+
+    def test_minority_mass_formula(self):
+        c = np.array([8, 1, 1])
+        mu = expected_next_counts(c)
+        assert expected_minority_mass(c) == pytest.approx(mu[1] + mu[2])
+
+
+class TestGrowthCaps:
+    def test_lemma6_cap_shape(self):
+        assert lemma6_growth_cap(1000, 10, 50) == pytest.approx(100 + 1.3 * 50)
+
+    def test_lemma6_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            lemma6_growth_cap(10, 0, 1)
+
+    def test_lemma6_empirically_holds(self, rng):
+        # A color at n/k + b should stay below n/k + (1+3/k)b w.h.p.
+        n, k = 100_000, 10
+        b = int(2 * k * np.sqrt(n * np.log(n)))  # in the lemma's range
+        b = min(b, n // k)
+        c = np.full(k, (n - b) // k, dtype=np.int64)
+        c[0] += b + (n - b) - ((n - b) // k) * k
+        actual_b = c[0] - n // k
+        reps = 500
+        out = ThreeMajority().step_many(np.tile(c, (reps, 1)), rng)
+        cap = lemma6_growth_cap(n, k, actual_b)
+        assert (out[:, 0] <= cap).mean() > 0.99
+
+    def test_lemma9_cap_shape(self):
+        assert lemma9_growth_cap(100, 5, 20) == pytest.approx(20 * 1.5)
+
+    def test_lemma9_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lemma9_growth_cap(0, 3, 1.0)

@@ -1,0 +1,184 @@
+"""Tests for the general-graph substrate (topology packing + agent sim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Configuration, ThreeMajority, majority_rule
+from repro.graphs import (
+    GraphPluralityProcess,
+    GraphState,
+    Topology,
+    barbell,
+    clique,
+    complete_bipartite,
+    cycle,
+    erdos_renyi,
+    random_coloring,
+    random_regular,
+    torus,
+)
+
+
+class TestTopology:
+    def test_clique_structure(self):
+        topo = clique(5)
+        assert topo.n == 5
+        assert topo.is_regular
+        assert (topo.degrees == 5).all()  # self-loops included
+
+    def test_cycle_structure(self):
+        topo = cycle(6)
+        assert topo.n == 6
+        assert (topo.degrees == 3).all()  # 2 neighbors + self
+
+    def test_torus(self):
+        topo = torus(3, 4)
+        assert topo.n == 12
+        assert (topo.degrees == 5).all()
+
+    def test_random_regular(self):
+        topo = random_regular(10, 3, seed=0)
+        assert topo.n == 10
+        assert (topo.degrees == 4).all()
+
+    def test_erdos_renyi_isolated_nodes_ok(self):
+        topo = erdos_renyi(20, 0.0, seed=0)
+        assert (topo.degrees == 1).all()  # self-loop only
+
+    def test_bipartite_and_barbell(self):
+        assert complete_bipartite(3, 4).n == 7
+        assert barbell(4).n == 8
+
+    def test_invalid_offsets(self):
+        with pytest.raises(ValueError):
+            Topology(np.array([1, 2]), np.array([0, 1]))
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(np.array([0, 0, 1]), np.array([0]))
+
+    def test_sample_neighbors_shape_and_validity(self, rng):
+        topo = cycle(8)
+        picks = topo.sample_neighbors(4, rng)
+        assert picks.shape == (8, 4)
+        # Every pick must be a CSR neighbor of its row.
+        for u in range(8):
+            pool = set(topo.neighbors[topo.offsets[u] : topo.offsets[u + 1]].tolist())
+            assert set(picks[u].tolist()) <= pool
+
+    def test_sample_rejects_bad_h(self, rng):
+        with pytest.raises(ValueError):
+            clique(3).sample_neighbors(0, rng)
+
+
+class TestRandomColoring:
+    def test_counts_preserved(self, rng):
+        topo = clique(30)
+        cfg = Configuration([15, 10, 5])
+        colors = random_coloring(topo, cfg, rng)
+        assert np.bincount(colors, minlength=3).tolist() == [15, 10, 5]
+
+    def test_size_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_coloring(clique(10), Configuration([5, 4]), rng)
+
+
+class TestGraphProcess:
+    def test_consensus_on_clique(self, rng):
+        topo = clique(500)
+        cfg = Configuration([400, 100])
+        colors = random_coloring(topo, cfg, rng)
+        proc = GraphPluralityProcess(topo, h=3)
+        res = proc.run(colors, k=2, rng=rng, max_rounds=2_000)
+        assert res.converged
+        assert res.plurality_won
+
+    def test_clique_matches_counts_engine_statistics(self, rng_factory):
+        # One round of graph-level 3-plurality on the clique must match the
+        # Lemma 1 law in expectation.
+        n = 2_000
+        topo = clique(n)
+        cfg = Configuration([1_200, 500, 300])
+        law = ThreeMajority().color_law(cfg.counts)
+        proc = GraphPluralityProcess(topo, h=3)
+        acc = np.zeros(3)
+        reps = 200
+        for i in range(reps):
+            rng = rng_factory(i)
+            colors = random_coloring(topo, cfg, rng)
+            new = proc.step(colors, 3, rng)
+            acc += np.bincount(new, minlength=3)
+        mean = acc / reps / n
+        stderr = np.sqrt(0.25 / (n * reps))
+        assert np.all(np.abs(mean - law) < 8 * stderr)
+
+    def test_three_input_rule_on_graph(self, rng):
+        topo = clique(300)
+        cfg = Configuration([200, 60, 40])
+        colors = random_coloring(topo, cfg, rng)
+        proc = GraphPluralityProcess(topo, rule=majority_rule())
+        res = proc.run(colors, k=3, rng=rng, max_rounds=2_000)
+        assert res.converged
+        assert res.plurality_won
+
+    def test_h1_is_graph_voter(self, rng):
+        topo = cycle(50)
+        colors = np.zeros(50, dtype=np.int64)
+        colors[::2] = 1
+        proc = GraphPluralityProcess(topo, h=1)
+        new = proc.step(colors, 2, rng)
+        assert new.shape == (50,)
+        assert set(np.unique(new)) <= {0, 1}
+
+    def test_monochromatic_is_absorbing(self, rng):
+        topo = random_regular(40, 4, seed=1)
+        colors = np.full(40, 2, dtype=np.int64)
+        proc = GraphPluralityProcess(topo, h=3)
+        res = proc.run(colors, k=3, rng=rng)
+        assert res.converged
+        assert res.rounds == 0
+        assert res.winner == 2
+
+    def test_record_counts_history(self, rng):
+        topo = clique(200)
+        cfg = Configuration([150, 50])
+        colors = random_coloring(topo, cfg, rng)
+        proc = GraphPluralityProcess(topo, h=3)
+        res = proc.run(colors, k=2, rng=rng, record_counts=True, max_rounds=1_000)
+        assert res.counts_history is not None
+        assert (res.counts_history.sum(axis=1) == 200).all()
+
+    def test_graph_state_helpers(self):
+        state = GraphState(np.array([0, 0, 1]), k=2)
+        assert state.counts().tolist() == [2, 1]
+        assert not state.is_monochromatic
+        assert state.configuration() == Configuration([2, 1])
+
+    def test_size_mismatch_rejected(self, rng):
+        proc = GraphPluralityProcess(clique(5), h=3)
+        with pytest.raises(ValueError):
+            proc.step(np.zeros(4, dtype=np.int64), 2, rng)
+
+    def test_local_topology_slows_consensus(self, rng_factory):
+        # Sanity for the substrate: the cycle mixes far slower than the
+        # clique at equal n — a qualitative, robust comparison.
+        n = 120
+        cfg = Configuration([70, 50])
+        rounds_clique = []
+        rounds_cycle = []
+        for i in range(10):
+            rng = rng_factory(1_000 + i)
+            colors = random_coloring(clique(n), cfg, rng)
+            r1 = GraphPluralityProcess(clique(n), h=3).run(
+                colors, k=2, rng=rng, max_rounds=20_000
+            )
+            rng2 = rng_factory(2_000 + i)
+            colors2 = random_coloring(cycle(n), cfg, rng2)
+            r2 = GraphPluralityProcess(cycle(n), h=3).run(
+                colors2, k=2, rng=rng2, max_rounds=20_000
+            )
+            rounds_clique.append(r1.rounds)
+            rounds_cycle.append(r2.rounds)
+        assert np.median(rounds_cycle) > np.median(rounds_clique)

@@ -1,0 +1,165 @@
+"""Tests for the mean-field ODE module and the streaming statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MedianDynamics, ThreeMajority, Voter
+from repro.analysis import (
+    StreamingMoments,
+    StreamingQuantiles,
+    discrete_mean_field,
+    integrate_mean_field,
+    mean_field_drift,
+)
+from repro.analysis.expectations import expected_next_counts
+
+
+class TestDiscreteMeanField:
+    def test_matches_lemma1_iteration(self):
+        f0 = np.array([0.5, 0.3, 0.2])
+        res = discrete_mean_field(ThreeMajority(), f0, rounds=1)
+        expected = expected_next_counts(f0 * 1_000_000) / 1_000_000
+        assert np.allclose(res.final, expected, atol=1e-5)
+
+    def test_converges_to_plurality(self):
+        res = discrete_mean_field(ThreeMajority(), np.array([0.4, 0.35, 0.25]), rounds=80)
+        assert res.winner(atol=1e-3) == 0
+
+    def test_voter_is_stationary(self):
+        # The voter law is the identity in the mean field: no drift at all.
+        f0 = np.array([0.6, 0.4])
+        res = discrete_mean_field(Voter(), f0, rounds=10)
+        assert np.allclose(res.final, f0, atol=1e-5)
+
+    def test_median_mean_field_elects_median(self):
+        res = discrete_mean_field(MedianDynamics(), np.array([0.40, 0.33, 0.27]), rounds=200)
+        assert res.winner(atol=1e-2) == 1
+
+    def test_rounds_to_fraction(self):
+        res = discrete_mean_field(ThreeMajority(), np.array([0.4, 0.35, 0.25]), rounds=80)
+        t = res.rounds_to_fraction(0.9)
+        assert t is not None and 0 < t <= 80
+        assert res.rounds_to_fraction(2.0) is None
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ValueError):
+            discrete_mean_field(ThreeMajority(), np.array([0.5, 0.5]), rounds=-1)
+
+
+class TestContinuousMeanField:
+    def test_drift_is_zero_at_consensus(self):
+        drift = mean_field_drift(ThreeMajority())
+        d = drift(0.0, np.array([1.0, 0.0]))
+        assert np.allclose(d, 0.0, atol=1e-6)
+
+    def test_integration_reaches_plurality(self):
+        res = integrate_mean_field(ThreeMajority(), np.array([0.45, 0.35, 0.2]), t_max=60.0)
+        assert res.winner(atol=1e-2) == 0
+        assert res.times[-1] == pytest.approx(60.0)
+        # fractions stay a probability vector along the way
+        assert np.allclose(res.fractions.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_tie_is_a_fixed_point(self):
+        res = integrate_mean_field(ThreeMajority(), np.array([0.5, 0.5]), t_max=5.0)
+        assert np.allclose(res.final, [0.5, 0.5], atol=1e-4)
+
+    def test_rejects_bad_tmax(self):
+        with pytest.raises(ValueError):
+            integrate_mean_field(ThreeMajority(), np.array([0.5, 0.5]), t_max=0.0)
+
+    def test_mean_field_matches_large_n_simulation(self, rng):
+        # At n = 10^6 fluctuations are ~10^-3: the ODE should track the
+        # stochastic trajectory closely for a few rounds.
+        from repro import Configuration, run_process
+
+        n = 1_000_000
+        cfg = Configuration.from_fractions(n, [0.45, 0.35, 0.20])
+        sim = run_process(ThreeMajority(), cfg, rng=rng, max_rounds=5, record_trajectory=True)
+        mf = discrete_mean_field(ThreeMajority(), np.array([0.45, 0.35, 0.20]), rounds=5)
+        sim_frac = sim.trajectory / n
+        # Fluctuations (~n^-1/2 per round) compound through the drift's
+        # sensitivity; a 2e-2 envelope over 5 rounds is the CLT scale.
+        assert np.allclose(sim_frac[:6], mf.fractions[: sim_frac[:6].shape[0]], atol=2e-2)
+
+
+class TestStreamingMoments:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(3.0, 2.0, size=(500, 4))
+        acc = StreamingMoments(4)
+        for row in data:
+            acc.push(row)
+        assert np.allclose(acc.mean, data.mean(axis=0))
+        assert np.allclose(acc.variance(), data.var(axis=0, ddof=1))
+
+    def test_batch_equals_scalar_pushes(self, rng):
+        data = rng.random((200, 3))
+        a = StreamingMoments(3)
+        b = StreamingMoments(3)
+        for row in data:
+            a.push(row)
+        b.push_batch(data)
+        assert np.allclose(a.mean, b.mean)
+        assert np.allclose(a.variance(), b.variance())
+
+    def test_merge_order_independent(self, rng):
+        x = rng.random((100, 2))
+        y = rng.random((50, 2))
+        m1 = StreamingMoments(2)
+        m1.push_batch(x)
+        m2 = StreamingMoments(2)
+        m2.push_batch(y)
+        m1.merge(m2)
+        ref = StreamingMoments(2)
+        ref.push_batch(np.vstack([x, y]))
+        assert np.allclose(m1.mean, ref.mean)
+        assert np.allclose(m1.variance(), ref.variance())
+
+    def test_merge_into_empty(self, rng):
+        src = StreamingMoments(2)
+        src.push_batch(rng.random((10, 2)))
+        dst = StreamingMoments(2)
+        dst.merge(src)
+        assert dst.count == 10
+
+    def test_validation(self):
+        acc = StreamingMoments(2)
+        with pytest.raises(ValueError):
+            acc.push(np.zeros(3))
+        with pytest.raises(ValueError):
+            acc.mean  # noqa: B018 — no observations yet
+        with pytest.raises(ValueError):
+            StreamingMoments(0)
+
+    def test_stderr_shrinks(self, rng):
+        acc = StreamingMoments(1)
+        acc.push_batch(rng.normal(size=(100, 1)))
+        early = acc.stderr()[0]
+        acc.push_batch(rng.normal(size=(10_000, 1)))
+        assert acc.stderr()[0] < early
+
+
+class TestStreamingQuantiles:
+    def test_exact_below_capacity(self):
+        sk = StreamingQuantiles(capacity=100, rng=0)
+        sk.push_batch(np.arange(50, dtype=float))
+        assert sk.median() == pytest.approx(24.5)
+        assert sk.seen == 50
+
+    def test_approximate_above_capacity(self, rng):
+        sk = StreamingQuantiles(capacity=2000, rng=0)
+        data = rng.normal(0, 1, size=20_000)
+        sk.push_batch(data)
+        assert abs(sk.median() - np.median(data)) < 0.1
+        assert abs(sk.quantile(0.9) - np.quantile(data, 0.9)) < 0.15
+
+    def test_validation(self):
+        sk = StreamingQuantiles(capacity=10)
+        with pytest.raises(ValueError):
+            sk.median()
+        sk.push(1.0)
+        with pytest.raises(ValueError):
+            sk.quantile(1.5)
+        with pytest.raises(ValueError):
+            StreamingQuantiles(capacity=0)

@@ -1,0 +1,132 @@
+"""Tests for the median, voter and two-choices dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Configuration, MedianDynamics, ThreeMajority, TwoChoices, Voter, run_process
+
+counts_strategy = st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=6).filter(
+    lambda xs: sum(xs) > 0
+)
+
+
+class TestMedianDynamics:
+    def test_class_matrix_rows_are_distributions(self):
+        mat = MedianDynamics().class_transition_matrix(np.array([3, 5, 2]))
+        assert np.allclose(mat.sum(axis=1), 1.0)
+        assert (mat >= 0).all()
+
+    def test_class_matrix_hand_case_k2(self):
+        # k=2, c=(6,4): F = (0.6, 1.0).
+        # Class 0 (x=0): P(median<=0) = 1-(1-0.6)^2 = 0.84 -> stays 0 w.p. 0.84.
+        # Class 1 (x=1): P(median<=0) = 0.6^2 = 0.36 -> moves to 0 w.p. 0.36.
+        mat = MedianDynamics().class_transition_matrix(np.array([6, 4]))
+        assert mat[0, 0] == pytest.approx(0.84)
+        assert mat[1, 0] == pytest.approx(0.36)
+
+    def test_binary_case_equals_three_majority_marginal(self):
+        # For k = 2 the median of {own, two samples} is the majority of
+        # the three, so the marginal laws coincide.
+        counts = np.array([60, 40])
+        med = MedianDynamics().color_law(counts)
+        maj = ThreeMajority().color_law(counts)
+        assert np.allclose(med, maj)
+
+    def test_median_attracts_to_median_value(self, rng):
+        # Plurality on color 0, but the median of the value distribution is
+        # color 1: the dynamics must drift to 1 in expectation.
+        counts = np.array([400, 350, 250])
+        law = MedianDynamics().color_law(counts)
+        mu = law * 1000
+        assert mu[1] > counts[1]  # median color grows
+
+    def test_step_conserves_mass(self, rng):
+        out = MedianDynamics().step(np.array([10, 20, 30]), rng)
+        assert out.sum() == 60
+
+    def test_monochromatic_absorbing(self, rng):
+        out = MedianDynamics().step(np.array([0, 40, 0]), rng)
+        assert out.tolist() == [0, 40, 0]
+
+    def test_converges_to_median_not_plurality(self, rng):
+        # Lemma 8-style configuration: plurality at 0, median at 1.
+        cfg = Configuration([380, 330, 290])
+        wins = {0: 0, 1: 0, 2: 0}
+        for seed in range(12):
+            res = run_process(MedianDynamics(), cfg, rng=seed, max_rounds=10_000)
+            assert res.converged
+            wins[res.winner] += 1
+        assert wins[1] > wins[0]
+
+    @given(counts_strategy)
+    def test_step_mass_and_support(self, counts):
+        rng = np.random.default_rng(3)
+        counts = np.array(counts)
+        out = MedianDynamics().step(counts, rng)
+        assert out.sum() == counts.sum()
+        # Median of supported values stays within [min support, max support].
+        support = np.nonzero(counts)[0]
+        assert (out[: support.min()] == 0).all()
+        assert (out[support.max() + 1 :] == 0).all()
+
+
+class TestVoter:
+    def test_law_is_fractions(self):
+        assert np.allclose(Voter().color_law(np.array([2, 3, 5])), [0.2, 0.3, 0.5])
+
+    def test_martingale_mean(self, rng):
+        counts = np.array([700, 300])
+        reps = 4000
+        out = Voter().step_many(np.tile(counts, (reps, 1)), rng)
+        stderr = np.sqrt(1000 * 0.21 / reps)
+        assert abs(out[:, 0].mean() - 700) < 5 * stderr
+
+    def test_minority_wins_at_martingale_rate(self, rng):
+        # The defining failure: P(consensus = j) = c_j / n.
+        from repro import run_ensemble
+
+        cfg = Configuration([30, 20])
+        ens = run_ensemble(Voter(), cfg, 300, max_rounds=100_000, rng=rng)
+        assert ens.convergence_rate == 1.0
+        minority_rate = float((ens.winners == 1).mean())
+        assert abs(minority_rate - 0.4) < 0.1
+
+
+class TestTwoChoices:
+    def test_class_matrix_rows_are_distributions(self):
+        mat = TwoChoices().class_transition_matrix(np.array([5, 3, 2]))
+        assert np.allclose(mat.sum(axis=1), 1.0)
+        assert (mat >= 0).all()
+
+    def test_class_matrix_hand_case(self):
+        # c = (6, 4), n = 10. Class 0 moves to 1 w.p. (0.4)^2 = 0.16.
+        mat = TwoChoices().class_transition_matrix(np.array([6, 4]))
+        assert mat[0, 1] == pytest.approx(0.16)
+        assert mat[0, 0] == pytest.approx(0.84)
+
+    def test_marginal_law_equals_three_majority(self):
+        # Known identity: the two-choices *marginal* coincides with the
+        # 3-majority law (the joint processes differ).
+        counts = np.array([50, 30, 20])
+        assert np.allclose(TwoChoices().color_law(counts), ThreeMajority().color_law(counts))
+
+    def test_step_conserves_mass(self, rng):
+        out = TwoChoices().step(np.array([5, 3, 2]), rng)
+        assert out.sum() == 10
+
+    def test_monochromatic_absorbing(self, rng):
+        out = TwoChoices().step(np.array([10, 0]), rng)
+        assert out.tolist() == [10, 0]
+
+    def test_extinct_colors_stay_extinct(self, rng):
+        out = TwoChoices().step(np.array([5, 0, 5]), rng)
+        assert out[1] == 0
+
+    def test_step_many(self, rng):
+        out = TwoChoices().step_many(np.tile([6, 4], (4, 1)), rng)
+        assert out.shape == (4, 2)
+        assert (out.sum(axis=1) == 10).all()

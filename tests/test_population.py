@@ -1,0 +1,118 @@
+"""Tests for the sequential population-protocol engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    PairwiseVoter,
+    PopulationProcess,
+    UndecidedPopulation,
+    UndecidedState,
+)
+
+
+class TestPairwiseVoter:
+    def test_interact_copies_responder(self):
+        assert PairwiseVoter().interact(0, 2) == 2
+
+    def test_converges(self):
+        res = PopulationProcess(PairwiseVoter()).run(np.array([40, 10]), rng=0)
+        assert res.converged
+        assert res.final_counts.max() == 50
+
+    def test_martingale_win_rate(self):
+        # Sequential voter keeps the exact c_j/n absorption law.
+        wins = 0
+        reps = 200
+        proc = PopulationProcess(PairwiseVoter())
+        for seed in range(reps):
+            res = proc.run(np.array([14, 6]), rng=seed)
+            wins += int(res.winner == 0)
+        rate = wins / reps
+        assert abs(rate - 0.7) < 0.12
+
+    def test_mass_conserved(self):
+        res = PopulationProcess(PairwiseVoter()).run(np.array([7, 5, 3]), rng=1)
+        assert res.final_counts.sum() == 15
+
+    def test_parallel_rounds_normalisation(self):
+        res = PopulationProcess(PairwiseVoter()).run(np.array([30, 10]), rng=2)
+        assert res.parallel_rounds(40) == pytest.approx(res.ticks / 40)
+
+
+class TestUndecidedPopulation:
+    def test_slots(self):
+        assert UndecidedPopulation().slots(4) == 5
+
+    def test_initial_state_appends_zero(self):
+        state = UndecidedPopulation().initial_state(np.array([3, 2]))
+        assert state.tolist() == [3, 2, 0]
+
+    def test_interactions(self):
+        proto = UndecidedPopulation()
+        proto._undecided_slot = 2  # two colors + undecided
+        assert proto.interact(0, 1) == 2  # conflict -> undecided
+        assert proto.interact(0, 0) == 0  # agreement -> keep
+        assert proto.interact(2, 1) == 1  # undecided adopts
+        assert proto.interact(2, 2) == 2  # undecided stays
+        assert proto.interact(0, 2) == 0  # colored ignores undecided
+
+    def test_converges_with_large_bias(self):
+        res = PopulationProcess(UndecidedPopulation()).run(np.array([400, 100]), rng=0)
+        assert res.converged
+        assert res.plurality_won
+
+    def test_binary_majority_reliability(self):
+        # For k=2 with Θ(n) bias the third-state protocol elects the
+        # majority w.h.p. — much more reliably than pairwise voting.
+        wins = 0
+        reps = 40
+        proc = PopulationProcess(UndecidedPopulation())
+        for seed in range(reps):
+            res = proc.run(np.array([70, 30]), rng=seed)
+            wins += int(res.plurality_won)
+        assert wins / reps > 0.9
+
+    def test_max_ticks_respected(self):
+        res = PopulationProcess(UndecidedPopulation()).run(
+            np.array([50, 50]), rng=0, max_ticks=10
+        )
+        assert res.ticks <= 10
+
+
+class TestProcessValidation:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            PopulationProcess(PairwiseVoter()).run(np.array([1, 0]), rng=0)
+
+    def test_seed_reproducibility(self):
+        proc = PopulationProcess(PairwiseVoter())
+        a = proc.run(np.array([12, 8]), rng=42)
+        b = proc.run(np.array([12, 8]), rng=42)
+        assert a.ticks == b.ticks
+        assert a.winner == b.winner
+
+
+class TestCrossModel:
+    def test_sequential_vs_parallel_undecided_timescale(self):
+        """A parallel round ≈ n sequential ticks (within a small factor)."""
+        counts = Configuration.biased(300, 3, 120).counts
+        seq = PopulationProcess(UndecidedPopulation())
+        seq_rounds = []
+        for seed in range(5):
+            res = seq.run(counts, rng=seed)
+            assert res.converged
+            seq_rounds.append(res.parallel_rounds(300))
+        from repro import run_process
+
+        par_rounds = []
+        for seed in range(5):
+            res = run_process(UndecidedState(), Configuration(counts), rng=seed, max_rounds=50_000)
+            assert res.converged
+            par_rounds.append(res.rounds)
+        # Same order of magnitude after tick/n normalisation.
+        ratio = np.median(seq_rounds) / max(np.median(par_rounds), 1)
+        assert 0.1 < ratio < 20.0

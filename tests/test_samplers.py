@@ -1,0 +1,187 @@
+"""Tests for the vectorized sampling kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.samplers import (
+    categorical_matrix,
+    categorical_sample,
+    multinomial_step,
+    multinomial_step_batch,
+    row_counts_dense,
+    row_plurality,
+)
+
+
+class TestMultinomialStep:
+    def test_conserves_mass(self, rng):
+        out = multinomial_step(1000, np.array([0.5, 0.3, 0.2]), rng)
+        assert out.sum() == 1000
+        assert out.dtype == np.int64
+
+    def test_rejects_bad_pvals(self, rng):
+        with pytest.raises(ValueError, match="probability"):
+            multinomial_step(10, np.array([0.5, 0.6]), rng)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            multinomial_step(10, np.full((2, 2), 0.25), rng)
+
+    def test_tolerates_tiny_roundoff(self, rng):
+        p = np.array([1 / 3, 1 / 3, 1 / 3])
+        out = multinomial_step(99, p, rng)
+        assert out.sum() == 99
+
+    def test_degenerate_law(self, rng):
+        out = multinomial_step(50, np.array([0.0, 1.0]), rng)
+        assert out.tolist() == [0, 50]
+
+    def test_mean_matches_law(self, rng):
+        p = np.array([0.7, 0.2, 0.1])
+        draws = np.stack([multinomial_step(100, p, rng) for _ in range(2000)])
+        assert np.allclose(draws.mean(axis=0) / 100, p, atol=0.01)
+
+
+class TestMultinomialStepBatch:
+    def test_scalar_total(self, rng):
+        p = np.array([[0.5, 0.5], [0.9, 0.1], [0.0, 1.0]])
+        out = multinomial_step_batch(100, p, rng)
+        assert out.shape == (3, 2)
+        assert (out.sum(axis=1) == 100).all()
+        assert out[2].tolist() == [0, 100]
+
+    def test_vector_totals(self, rng):
+        p = np.array([[0.5, 0.5], [0.25, 0.75]])
+        out = multinomial_step_batch(np.array([10, 20]), p, rng)
+        assert out.sum(axis=1).tolist() == [10, 20]
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            multinomial_step_batch(10, np.array([0.5, 0.5]), rng)
+
+    def test_rejects_bad_rows(self, rng):
+        with pytest.raises(ValueError, match="probability"):
+            multinomial_step_batch(10, np.array([[0.5, 0.2]]), rng)
+
+
+class TestCategoricalSample:
+    def test_range_and_shape(self, rng):
+        out = categorical_sample(np.array([5, 0, 5]), (100,), rng)
+        assert out.shape == (100,)
+        assert set(np.unique(out)) <= {0, 2}
+
+    def test_never_samples_zero_count_color(self, rng):
+        out = categorical_sample(np.array([0, 10, 0]), 1000, rng)
+        assert (out == 1).all()
+
+    def test_frequencies(self, rng):
+        counts = np.array([700, 200, 100])
+        out = categorical_sample(counts, 200_000, rng)
+        freqs = np.bincount(out, minlength=3) / 200_000
+        assert np.allclose(freqs, counts / 1000, atol=0.01)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError, match="positive total"):
+            categorical_sample(np.array([0, 0]), 10, rng)
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            categorical_sample(np.array([-1, 2]), 10, rng)
+
+    def test_matrix_shape(self, rng):
+        out = categorical_matrix(np.array([1, 1]), 7, 3, rng)
+        assert out.shape == (7, 3)
+
+    def test_matrix_rejects_bad_h(self, rng):
+        with pytest.raises(ValueError):
+            categorical_matrix(np.array([1, 1]), 7, 0, rng)
+
+
+class TestRowCounts:
+    def test_counts_match_manual(self):
+        samples = np.array([[0, 0, 1], [2, 2, 2]])
+        counts = row_counts_dense(samples, 3)
+        assert counts.tolist() == [[2, 1, 0], [0, 0, 3]]
+
+    def test_empty_rows(self):
+        assert row_counts_dense(np.zeros((0, 3), dtype=np.int64), 4).shape == (0, 4)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            row_counts_dense(np.array([1, 2]), 3)
+
+
+class TestRowPlurality:
+    def test_clear_majorities(self, rng):
+        samples = np.array([[0, 0, 1], [2, 1, 2], [1, 1, 1]])
+        out = row_plurality(samples, 3, rng)
+        assert out.tolist() == [0, 2, 1]
+
+    def test_h1_identity(self, rng):
+        samples = np.array([[2], [0], [1]])
+        assert row_plurality(samples, 3, rng).tolist() == [2, 0, 1]
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(ValueError, match="out of range"):
+            row_plurality(np.array([[0, 5]]), 3, rng)
+
+    def test_tie_break_uniform(self, rng):
+        # 3 distinct colors: each should win ~1/3 of the time.
+        samples = np.tile(np.array([[0, 1, 2]]), (30_000, 1))
+        out = row_plurality(samples, 3, rng)
+        freqs = np.bincount(out, minlength=3) / 30_000
+        assert np.allclose(freqs, 1 / 3, atol=0.02)
+
+    def test_two_way_tie_uniform(self, rng):
+        samples = np.tile(np.array([[0, 0, 1, 1]]), (30_000, 1))
+        out = row_plurality(samples, 2, rng)
+        freq0 = (out == 0).mean()
+        assert abs(freq0 - 0.5) < 0.02
+
+    def test_chunked_path_matches(self, rng_factory):
+        # Force chunking by monkeypatching the block budget.
+        import repro.core.samplers as smp
+
+        samples = rng_factory(1).integers(0, 4, size=(101, 5))
+        old = smp._DENSE_BLOCK_CELLS
+        try:
+            smp._DENSE_BLOCK_CELLS = 40  # chunk = 10 rows
+            out_chunked = row_plurality(samples, 4, rng_factory(2))
+        finally:
+            smp._DENSE_BLOCK_CELLS = old
+        out_whole = row_plurality(samples, 4, rng_factory(2))
+        # Tie-broken rows may differ; rows with a unique plurality must agree.
+        counts = row_counts_dense(samples, 4)
+        top = counts.max(axis=1)
+        unique = (counts == top[:, None]).sum(axis=1) == 1
+        assert (out_chunked[unique] == out_whole[unique]).all()
+
+
+# -- property-based -----------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=6).filter(
+        lambda xs: sum(xs) > 0
+    ),
+    st.integers(min_value=1, max_value=7),
+)
+def test_row_plurality_winner_always_present(counts, h):
+    rng = np.random.default_rng(42)
+    samples = categorical_matrix(np.array(counts), 50, h, rng)
+    winners = row_plurality(samples, len(counts), rng)
+    # Each winner must occur in its own row (f(x) ∈ {x} requirement).
+    present = (samples == winners[:, None]).any(axis=1)
+    assert present.all()
+
+
+@given(st.integers(min_value=1, max_value=300))
+def test_multinomial_step_mass(total):
+    rng = np.random.default_rng(7)
+    out = multinomial_step(total, np.array([0.2, 0.3, 0.5]), rng)
+    assert out.sum() == total
+    assert (out >= 0).all()

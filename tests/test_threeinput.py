@@ -1,0 +1,203 @@
+"""Tests for the D3 class machinery (Theorem 3 substrate)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Configuration,
+    ThreeInputRule,
+    all_position_rules,
+    first_rule,
+    majority_rule,
+    majority_uniform_rule,
+    max_rule,
+    median_rule,
+    min_rule,
+    run_process,
+    skewed_rule,
+)
+from repro.core.threeinput import DISTINCT_PATTERNS, PAIR_PATTERNS
+
+
+class TestClassification:
+    def test_majority_is_m3(self):
+        rule = majority_rule()
+        assert rule.has_clear_majority_property()
+        assert rule.has_uniform_property()
+        assert rule.is_three_majority()
+        assert rule.delta_counters() == (2, 2, 2)
+
+    def test_majority_uniform_is_m3(self):
+        assert majority_uniform_rule().is_three_majority()
+
+    def test_median_delta(self):
+        rule = median_rule()
+        assert rule.delta_counters() == (0, 6, 0)
+        assert rule.has_clear_majority_property()
+        assert not rule.has_uniform_property()
+        assert not rule.is_three_majority()
+
+    def test_min_max_delta(self):
+        assert min_rule().delta_counters() == (6, 0, 0)
+        assert max_rule().delta_counters() == (0, 0, 6)
+        assert not min_rule().has_clear_majority_property()
+
+    def test_first_rule_is_uniform_but_not_clear_majority(self):
+        rule = first_rule()
+        assert rule.delta_counters() == (2, 2, 2)
+        assert rule.has_uniform_property()
+        assert not rule.has_clear_majority_property()
+        assert not rule.is_three_majority()
+
+    def test_skewed_rule_deltas(self):
+        for delta in [(1, 3, 2), (0, 4, 2), (3, 3, 0), (6, 0, 0)]:
+            rule = skewed_rule(delta)
+            assert rule.delta_counters() == tuple(float(d) for d in delta)
+            assert rule.has_clear_majority_property()
+
+    def test_skewed_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            skewed_rule((1, 1, 1))
+
+    def test_delta_counters_sum_to_six(self):
+        for rule in all_position_rules()[:50]:
+            assert sum(rule.delta_counters()) == 6
+
+    def test_all_position_rules_count(self):
+        rules = all_position_rules()
+        assert len(rules) == 3**6
+        uniform = [r for r in rules if r.has_uniform_property()]
+        # The number of position assignments with delta = (2,2,2).
+        assert len(uniform) > 0
+        for r in uniform:
+            assert r.is_three_majority()
+
+
+class TestValidation:
+    def test_missing_pair_pattern(self):
+        with pytest.raises(ValueError, match="missing pattern"):
+            ThreeInputRule({"XXY": "major"}, "uniform")
+
+    def test_bad_pair_choice(self):
+        with pytest.raises(ValueError, match="invalid pair choice"):
+            ThreeInputRule({p: "weird" for p in PAIR_PATTERNS}, "uniform")
+
+    def test_missing_distinct_pattern(self):
+        with pytest.raises(ValueError, match="missing patterns"):
+            ThreeInputRule({p: "major" for p in PAIR_PATTERNS}, {(0, 1, 2): 0})
+
+    def test_bad_position(self):
+        choice = {pat: 0 for pat in DISTINCT_PATTERNS}
+        choice[(0, 1, 2)] = 5
+        with pytest.raises(ValueError, match="position"):
+            ThreeInputRule({p: "major" for p in PAIR_PATTERNS}, choice)
+
+    def test_bad_distinct_string(self):
+        with pytest.raises(ValueError, match="unknown distinct_choice"):
+            ThreeInputRule({p: "major" for p in PAIR_PATTERNS}, "random")
+
+
+class TestApply:
+    def test_all_equal(self, rng):
+        rule = majority_rule()
+        out = rule.apply(np.array([2, 0]), np.array([2, 0]), np.array([2, 0]), rng)
+        assert out.tolist() == [2, 0]
+
+    def test_clear_majorities(self, rng):
+        rule = majority_rule()
+        a = np.array([1, 0, 2])
+        b = np.array([1, 3, 0])
+        c = np.array([0, 3, 2])
+        # patterns: XXY (maj 1), YXX (maj 3), XYX (maj 2)
+        assert rule.apply(a, b, c, rng).tolist() == [1, 3, 2]
+
+    def test_first_rule_returns_position_zero(self, rng):
+        rule = first_rule()
+        a, b, c = np.array([4]), np.array([2]), np.array([7])
+        assert rule.apply(a, b, c, rng).tolist() == [4]
+        # and on YXX pairs it returns the minority = first input
+        assert rule.apply(np.array([0]), np.array([5]), np.array([5]), rng).tolist() == [0]
+
+    def test_min_max_rules(self, rng):
+        a, b, c = np.array([3, 3]), np.array([1, 1]), np.array([2, 2])
+        assert min_rule().apply(a, b, c, rng).tolist() == [1, 1]
+        assert max_rule().apply(a, b, c, rng).tolist() == [3, 3]
+        # pairs: min of (5,5,2) is 2 even though 5 is the majority
+        assert min_rule().apply(np.array([5]), np.array([5]), np.array([2]), rng).tolist() == [2]
+
+    def test_median_rule_picks_middle(self, rng):
+        for a, b, c in itertools.permutations((0, 1, 2)):
+            out = median_rule().apply(np.array([a]), np.array([b]), np.array([c]), rng)
+            assert out.tolist() == [1]
+
+    def test_output_always_among_inputs(self, rng):
+        # The f(x) ∈ {x1,x2,x3} requirement of Definition 1.
+        for rule in [majority_rule(), median_rule(), min_rule(), first_rule(), skewed_rule()]:
+            a = rng.integers(0, 5, 200)
+            b = rng.integers(0, 5, 200)
+            c = rng.integers(0, 5, 200)
+            out = rule.apply(a, b, c, rng)
+            assert ((out == a) | (out == b) | (out == c)).all(), rule.name
+
+
+class TestExactLaw:
+    def test_majority_rule_law_matches_lemma1(self):
+        from repro.core.majority import three_majority_law
+
+        counts = np.array([5, 3, 2])
+        for rule in (majority_rule(), majority_uniform_rule()):
+            assert np.allclose(rule.color_law(counts), three_majority_law(counts)), rule.name
+
+    def test_law_is_distribution_for_panel(self):
+        counts = np.array([4, 3, 2, 1])
+        for rule in [median_rule(), min_rule(), max_rule(), first_rule(), skewed_rule()]:
+            law = rule.color_law(counts)
+            assert law.sum() == pytest.approx(1.0), rule.name
+            assert (law >= 0).all()
+
+    def test_law_matches_empirical_step(self, rng):
+        counts = np.array([50, 30, 20])
+        rule = skewed_rule((1, 3, 2))
+        law = rule.color_law(counts)
+        reps = 600
+        acc = np.zeros(3)
+        for _ in range(reps):
+            acc += rule.step(counts, rng)
+        mean = acc / reps / 100
+        stderr = np.sqrt(0.25 / (100 * reps))
+        assert np.all(np.abs(mean - law) < 8 * stderr)
+
+    def test_first_rule_law_is_voter(self):
+        # f = x1 copies a uniform sample: law must be c/n.
+        counts = np.array([5, 3, 2])
+        assert np.allclose(first_rule().color_law(counts), counts / 10)
+
+
+class TestEndToEnd:
+    def test_majority_solves_plurality(self):
+        cfg = Configuration([600, 300, 100])
+        res = run_process(majority_rule(), cfg, rng=1, max_rounds=2_000)
+        assert res.plurality_won
+
+    def test_median_rule_elects_median(self):
+        cfg = Configuration([400, 330, 270])
+        winners = [
+            run_process(median_rule(), cfg, rng=s, max_rounds=5_000).winner for s in range(8)
+        ]
+        assert winners.count(1) >= 6
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=0, max_value=3**6 - 1))
+    def test_every_position_rule_preserves_mass(self, idx):
+        rule = all_position_rules()[idx]
+        rng = np.random.default_rng(idx)
+        counts = np.array([20, 15, 10, 5])
+        out = rule.step(counts, rng)
+        assert out.sum() == 50
+        assert (out >= 0).all()
