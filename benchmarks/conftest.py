@@ -9,11 +9,25 @@ tables of DESIGN.md §4 at smoke scale (timing the full regeneration);
 `test_bench_kernels` times the low-level step engines, and
 `test_bench_ablation` times the design alternatives DESIGN.md calls out.
 Rendered tables are printed; pass ``-s`` to see them inline.
+
+Machine-readable results: after a timed run (i.e. not with
+``--benchmark-disable``) the session writes ``benchmarks/BENCH_results.json``
+— one record per benchmark with ns/op statistics plus whatever the bench
+attached via ``benchmark.extra_info`` (engine, n, k, replicas, ...).
+Records merge by fullname into the existing file, and the file is
+*deliberately version-controlled*: committing refreshed numbers alongside a
+perf-relevant PR is how the performance trajectory is tracked across PRs
+(don't commit incidental refreshes from unrelated work).
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
+
+RESULTS_NAME = "BENCH_results.json"
 
 
 @pytest.fixture
@@ -25,3 +39,49 @@ def show():
         print(table.render())
 
     return _show
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    records = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        records.append(
+            {
+                "name": bench.name,
+                "group": getattr(bench, "group", None),
+                "fullname": getattr(bench, "fullname", bench.name),
+                "mean_ns": float(stats.mean) * 1e9,
+                "median_ns": float(stats.median) * 1e9,
+                "stddev_ns": float(stats.stddev) * 1e9,
+                "min_ns": float(stats.min) * 1e9,
+                "ops_per_s": float(stats.ops),
+                "rounds": int(stats.rounds),
+                "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+            }
+        )
+    if not records:
+        return
+    out = pathlib.Path(__file__).parent / RESULTS_NAME
+    # Merge with any existing file (keyed by fullname) so a filtered run
+    # refreshes its own records without discarding the other groups.
+    merged: dict[str, dict] = {}
+    if out.exists():
+        try:
+            for rec in json.loads(out.read_text()).get("benchmarks", []):
+                merged[rec.get("fullname", rec.get("name", ""))] = rec
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    for rec in records:
+        merged[rec["fullname"]] = rec
+    payload = {
+        "benchmarks": sorted(
+            merged.values(), key=lambda r: r.get("fullname", r.get("name", ""))
+        )
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {len(records)} benchmark records to {out} ({len(merged)} total)")

@@ -18,6 +18,7 @@ from repro import (
     ThreeMajority,
     UndecidedState,
     majority_rule,
+    skewed_rule,
 )
 from repro.core.samplers import categorical_matrix, row_plurality
 
@@ -31,7 +32,14 @@ class TestCountsEngine:
     def test_three_majority_step_n1e6_k100(self, benchmark, rng):
         counts = Configuration.biased(1_000_000, 100, 50_000).counts
         dyn = ThreeMajority()
+        benchmark.extra_info.update(engine="counts", n=1_000_000, k=100)
         benchmark(lambda: dyn.step(counts, rng))
+
+    def test_three_input_rule_step_counts_n1e5_k64(self, benchmark, rng):
+        counts = Configuration.biased(100_000, 64, 10_000).counts
+        rule = majority_rule()  # O(k) pattern-decomposed law
+        benchmark.extra_info.update(engine="counts", n=100_000, k=64)
+        benchmark(lambda: rule.step(counts, rng))
 
     def test_three_majority_step_n1e7_k1000(self, benchmark, rng):
         counts = Configuration.biased(10_000_000, 1_000, 500_000).counts
@@ -57,20 +65,71 @@ class TestCountsEngine:
         benchmark(lambda: dyn.step(counts, rng))
 
 
+class TestE5RuleEngines:
+    """The acceptance pair: one arbitrary-rule round at n = 10^5, k = 5.
+
+    The counts-level engine must beat agent-level by >= 20x here; the
+    JSON records both so the ratio is tracked across PRs.
+    """
+
+    N, K = 100_000, 5
+
+    def _counts(self):
+        return Configuration.biased(self.N, self.K, 10_000).counts
+
+    def test_e5_rule_step_counts_n1e5_k5(self, benchmark, rng):
+        rule = skewed_rule((1, 3, 2))
+        counts = self._counts()
+        benchmark.extra_info.update(engine="counts", n=self.N, k=self.K, rule=rule.name)
+        benchmark(lambda: rule.step(counts, rng))
+
+    def test_e5_rule_step_agent_n1e5_k5(self, benchmark, rng):
+        rule = skewed_rule((1, 3, 2))
+        rule.engine = "agent"
+        counts = self._counts()
+        benchmark.extra_info.update(engine="agent", n=self.N, k=self.K, rule=rule.name)
+        benchmark(lambda: rule.step(counts, rng))
+
+    def test_e5_rule_ensemble_round_counts_r200(self, benchmark, rng):
+        rule = skewed_rule((1, 3, 2))
+        batch = np.tile(self._counts(), (200, 1))
+        benchmark.extra_info.update(engine="counts", n=self.N, k=self.K, replicas=200)
+        benchmark(lambda: rule.step_many(batch, rng))
+
+
+class TestHPluralityEngines:
+    def test_hplurality_step_counts_n1e5_h5_k16(self, benchmark, rng):
+        counts = Configuration.biased(100_000, 16, 10_000).counts
+        dyn = HPlurality(5)
+        assert dyn.resolved_engine(16) == "counts"
+        benchmark.extra_info.update(engine="counts", n=100_000, k=16, h=5)
+        benchmark(lambda: dyn.step(counts, rng))
+
+    def test_hplurality_step_agent_n1e5_h5_k16(self, benchmark, rng):
+        counts = Configuration.biased(100_000, 16, 10_000).counts
+        dyn = HPlurality(5, engine="agent")
+        benchmark.extra_info.update(engine="agent", n=100_000, k=16, h=5)
+        benchmark(lambda: dyn.step(counts, rng))
+
+
 class TestAgentEngine:
     def test_hplurality_step_n1e5_h7(self, benchmark, rng):
         counts = Configuration.biased(100_000, 32, 10_000).counts
-        dyn = HPlurality(7)
+        dyn = HPlurality(7)  # h > 5: no counts-level law, agent engine
+        benchmark.extra_info.update(engine="agent", n=100_000, k=32, h=7)
         benchmark(lambda: dyn.step(counts, rng))
 
     def test_agent_level_three_majority_n1e5(self, benchmark, rng):
         counts = Configuration.biased(100_000, 16, 10_000).counts
         dyn = ThreeMajority(agent_level=True)
+        benchmark.extra_info.update(engine="agent", n=100_000, k=16)
         benchmark(lambda: dyn.step(counts, rng))
 
-    def test_three_input_rule_step_n1e5(self, benchmark, rng):
+    def test_three_input_rule_step_agent_n1e5_k64(self, benchmark, rng):
         counts = Configuration.biased(100_000, 64, 10_000).counts
-        rule = majority_rule()  # k=64 > exact-law cap, forces agent path
+        rule = majority_rule()
+        rule.engine = "agent"  # the O(k) law now covers every k; force agent
+        benchmark.extra_info.update(engine="agent", n=100_000, k=64)
         benchmark(lambda: rule.step(counts, rng))
 
     def test_row_plurality_reduction(self, benchmark, rng):

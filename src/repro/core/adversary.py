@@ -7,10 +7,16 @@ next round begins.  Corollary 4 shows 3-majority still reaches
 
 Adversaries here operate on count vectors (the clique is anonymous, so a
 count-level action is fully general) and must satisfy two contracts,
-enforced by :meth:`Adversary.corrupt`:
+enforced by :meth:`Adversary.corrupt` and :meth:`Adversary.corrupt_many`:
 
 * total mass is preserved;
 * at most ``budget`` agents change color (L1 distance ≤ 2·budget).
+
+Replica ensembles corrupt all rows in one call through
+:meth:`Adversary.corrupt_many`; strategies whose action is a per-row
+argmax/argmin arithmetic (targeted, revive) override :meth:`Adversary._act_many`
+with fully broadcast implementations, so the ensemble hot path has no
+Python-level loop over replicas.
 """
 
 from __future__ import annotations
@@ -40,20 +46,48 @@ class Adversary(abc.ABC):
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Return the corrupted counts; may assume a private mutable copy."""
 
+    def _act_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Corrupt an ``(R, k)`` batch; may assume a private mutable copy.
+
+        The default applies :meth:`_act` row by row; strategies with
+        broadcastable actions override it.
+        """
+        if counts.shape[0] == 0:
+            return counts
+        return np.stack([self._act(row, rng) for row in counts])
+
     def corrupt(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Apply the adversary, validating its contract."""
+        """Apply the adversary to one configuration, validating its contract."""
         counts = np.asarray(counts, dtype=np.int64)
         out = np.asarray(self._act(counts.copy(), rng), dtype=np.int64)
-        if out.shape != counts.shape:
-            raise RuntimeError("adversary changed the number of colors")
-        if out.sum() != counts.sum():
-            raise RuntimeError("adversary changed the number of agents")
-        if np.any(out < 0):
-            raise RuntimeError("adversary produced negative counts")
-        moved = int(np.abs(out - counts).sum()) // 2
-        if moved > self.budget:
-            raise RuntimeError(f"adversary moved {moved} agents, budget {self.budget}")
+        self._validate(counts[None, :], out[None, :])
         return out
+
+    def corrupt_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply the adversary to every row of an ``(R, k)`` batch.
+
+        Validation of the mass/budget contract is a single vectorized pass
+        over the batch.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise ValueError("corrupt_many expects (R, k) counts")
+        out = np.asarray(self._act_many(counts.copy(), rng), dtype=np.int64)
+        self._validate(counts, out)
+        return out
+
+    def _validate(self, before: np.ndarray, after: np.ndarray) -> None:
+        if after.shape != before.shape:
+            raise RuntimeError("adversary changed the number of colors")
+        if np.any(after.sum(axis=1) != before.sum(axis=1)):
+            raise RuntimeError("adversary changed the number of agents")
+        if np.any(after < 0):
+            raise RuntimeError("adversary produced negative counts")
+        moved = np.abs(after - before).sum(axis=1) // 2
+        if np.any(moved > self.budget):
+            raise RuntimeError(
+                f"adversary moved {int(moved.max())} agents, budget {self.budget}"
+            )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(budget={self.budget})"
@@ -67,13 +101,20 @@ class TargetedAdversary(Adversary):
     """
 
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        top = int(np.argmax(counts))
+        return self._act_many(counts[None, :], rng)[0]
+
+    def _act_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if counts.shape[0] == 0:
+            return counts
+        rows = np.arange(counts.shape[0])
+        top = np.argmax(counts, axis=1)
+        top_vals = counts[rows, top]
         masked = counts.copy()
-        masked[top] = -1
-        runner = int(np.argmax(masked))
-        move = min(self.budget, int(counts[top]))
-        counts[top] -= move
-        counts[runner] += move
+        masked[rows, top] = -1
+        runner = np.argmax(masked, axis=1)
+        move = np.minimum(self.budget, top_vals)
+        counts[rows, top] -= move
+        counts[rows, runner] += move
         return counts
 
 
@@ -83,7 +124,8 @@ class BalancingAdversary(Adversary):
     Moves up to ``budget`` agents from the current maximum to the current
     minimum-among-supported colors, one greedy unit block at a time; a
     stronger bias-reduction than :class:`TargetedAdversary` when several
-    colors are close to the top.
+    colors are close to the top.  The greedy loop is data-dependent, so the
+    batch path keeps the per-row default.
     """
 
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -108,20 +150,26 @@ class RandomAdversary(Adversary):
 
     Not adversarial in the game-theoretic sense; used as the control
     strategy in E8 to separate "any perturbation" from "worst-case
-    perturbation".
+    perturbation".  Victim selection needs one hypergeometric draw per row
+    (no batched API), but the uniform refill is a single batched
+    multinomial.
     """
 
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        n = int(counts.sum())
-        if n == 0:
+        return self._act_many(counts[None, :], rng)[0]
+
+    def _act_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if counts.shape[0] == 0:
             return counts
-        k = counts.size
-        move = min(self.budget, n)
-        # Choose `move` agents by color proportionally (hypergeometric via
-        # multivariate sampling without replacement).
-        victims = rng.multivariate_hypergeometric(counts, move)
-        counts -= victims
-        counts += rng.multinomial(move, np.full(k, 1.0 / k))
+        k = counts.shape[1]
+        totals = counts.sum(axis=1)
+        moves = np.minimum(self.budget, totals)
+        for r in range(counts.shape[0]):
+            if moves[r] > 0:
+                # Choose victims by color proportionally (hypergeometric =
+                # sampling agents without replacement).
+                counts[r] -= rng.multivariate_hypergeometric(counts[r], int(moves[r]))
+        counts += rng.multinomial(moves, np.full(k, 1.0 / k))
         return counts
 
 
@@ -133,11 +181,15 @@ class ReviveAdversary(Adversary):
     """
 
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        top = int(np.argmax(counts))
-        low = int(np.argmin(counts))
-        if top == low:
+        return self._act_many(counts[None, :], rng)[0]
+
+    def _act_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if counts.shape[0] == 0:
             return counts
-        move = min(self.budget, int(counts[top]))
-        counts[top] -= move
-        counts[low] += move
+        rows = np.arange(counts.shape[0])
+        top = np.argmax(counts, axis=1)
+        low = np.argmin(counts, axis=1)
+        move = np.where(top != low, np.minimum(self.budget, counts[rows, top]), 0)
+        counts[rows, top] -= move
+        counts[rows, low] += move
         return counts

@@ -19,6 +19,38 @@ Implementations provide at least one of:
 Dynamics that carry extra per-agent state beyond the color (the
 undecided-state protocol) extend the state vector with additional slots and
 document the convention; see :mod:`repro.core.undecided`.
+
+Engine-selection matrix
+-----------------------
+Two execution engines exist (see :mod:`repro.core.samplers`): the exact
+**counts-level** engine — one ``Multinomial(n, color_law(c))`` draw per
+round, O(k) — and the **agent-level** engine — explicit per-agent sampling,
+O(n·h) per round.  Dynamics whose constructor takes an ``engine=`` keyword
+accept ``"counts"``, ``"agent"`` or ``"auto"``; the rest are fixed.
+
+=====================  =======================  ===========================
+dynamics               default engine           notes
+=====================  =======================  ===========================
+ThreeMajority          counts (Lemma 1 law)     ``engine="agent"`` (or the
+                                                legacy ``agent_level=True``)
+                                                for cross-validation /
+                                                tie-break ablation
+ThreeInputRule         counts (O(k) pattern-    ``engine="agent"`` keeps the
+                       decomposed law)          explicit triple sampler
+HPlurality             auto: counts for h ≤ 5   composition enumeration,
+                       while the composition    C(k+h-1, h) table rows;
+                       table stays small,       ``engine="counts"`` forces
+                       agent otherwise          it, ``"agent"`` forbids it
+TwoSampleUniform       counts (law = c/n)       fixed
+Voter / TwoChoices     counts                   fixed
+MedianDynamics         counts (class-wise       fixed, O(k²) law
+                       product of multinomials)
+UndecidedState         counts (product form)    fixed, extra state slot
+=====================  =======================  ===========================
+
+The agent-level paths are retained everywhere they exist because they are
+the *statistical ground truth* the counts-level laws are validated against
+(``tests/test_counts_engines.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +62,15 @@ import numpy as np
 from .samplers import multinomial_step, multinomial_step_batch
 
 __all__ = ["Dynamics", "CountsDynamics"]
+
+#: Recognised values for the ``engine=`` keyword of selectable dynamics.
+ENGINES = ("auto", "counts", "agent")
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
 
 
 class Dynamics(abc.ABC):
@@ -45,6 +86,12 @@ class Dynamics(abc.ABC):
     #: Whether the rule uses any per-agent state beyond the current color.
     uses_extra_state: bool = False
 
+    #: Whether :meth:`color_law` accepts ``(..., k)`` stacked configurations
+    #: and broadcasts over the leading axes (reductions written with
+    #: ``axis=-1``).  Enables the loop-free :meth:`CountsDynamics.color_law_batch`
+    #: default; laws that reduce over the whole array must leave this False.
+    color_law_broadcasts: bool = False
+
     @abc.abstractmethod
     def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Sample the configuration after one synchronous round."""
@@ -58,6 +105,8 @@ class Dynamics(abc.ABC):
         counts = np.asarray(counts)
         if counts.ndim != 2:
             raise ValueError("step_many expects (R, k) counts")
+        if counts.shape[0] == 0:
+            return counts.copy()
         return np.stack([self.step(row, rng) for row in counts])
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
@@ -69,14 +118,19 @@ class Dynamics(abc.ABC):
         raise NotImplementedError(f"{self.name} has no closed-form color law")
 
     def supports_exact_law(self) -> bool:
-        """True when :meth:`color_law` is implemented."""
-        try:
-            self.color_law(np.array([1, 1], dtype=np.int64))
-        except NotImplementedError:
-            return False
-        except Exception:
-            return True
-        return True
+        """True when :meth:`color_law` is implemented.
+
+        Resolved *structurally* — the method is overridden somewhere below
+        :class:`Dynamics` — and cached per instance, so no throwaway
+        configuration is ever evaluated.  Dynamics whose law exists only for
+        part of their parameter space (:class:`~repro.core.majority.HPlurality`)
+        override this with the precise predicate.
+        """
+        cached = getattr(self, "_supports_exact_law", None)
+        if cached is None:
+            cached = type(self).color_law is not Dynamics.color_law
+            self._supports_exact_law = cached
+        return cached
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -85,20 +139,20 @@ class Dynamics(abc.ABC):
 class CountsDynamics(Dynamics):
     """Dynamics defined by an exact per-agent color law.
 
-    Subclasses implement :meth:`color_law` (and optionally
-    :meth:`color_law_batch`); stepping is the exact multinomial draw, both
-    for single configurations and replica batches.
+    Subclasses implement :meth:`color_law`; stepping is the exact
+    multinomial draw, both for single configurations and replica batches.
+    Laws written with ``axis=-1`` reductions should set
+    :attr:`~Dynamics.color_law_broadcasts` so the batch path is a single
+    broadcasted call instead of a Python loop over replicas.
     """
 
     def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`color_law` over an ``(R, k)`` batch.
-
-        Default stacks the scalar implementation; subclasses with broadcast
-        arithmetic override for speed.
-        """
+        """Vectorized :meth:`color_law` over an ``(R, k)`` batch."""
         counts = np.asarray(counts)
         if counts.ndim != 2:
             raise ValueError("color_law_batch expects (R, k) counts")
+        if self.color_law_broadcasts:
+            return np.asarray(self.color_law(counts), dtype=np.float64)
         return np.stack([self.color_law(row) for row in counts])
 
     def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:

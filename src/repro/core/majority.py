@@ -12,8 +12,14 @@
   is kept for cross-validation and for the tie-break ablation.
 
 * :class:`HPlurality` — the h-sample plurality rule of Section 4.3.  For
-  general ``h`` and ``k`` the per-agent law has no tractable closed form, so
-  stepping is agent-level: an ``(n, h)`` categorical sample matrix reduced
+  ``h <= 5`` the per-agent law *is* tractable: the sample histogram is one
+  of the ``C(k+h-1, h)`` weak compositions of ``h`` into ``k`` colors, each
+  with multinomial probability, and uniform tie-splitting distributes each
+  composition's mass over its maximal colors.  We enumerate the
+  compositions once per ``(h, k)`` (cached) and evaluate the law as two
+  dense matrix products — the exact counts-level engine.  For larger ``h``
+  (or ``k`` so large the table would not fit) stepping falls back to the
+  agent-level engine: an ``(n, h)`` categorical sample matrix reduced
   row-wise with uniform tie-breaking.  ``HPlurality(3)`` with uniform
   tie-break has the same marginal law as :class:`ThreeMajority`.
 
@@ -24,9 +30,12 @@
 
 from __future__ import annotations
 
+import itertools
+import math
+
 import numpy as np
 
-from .dynamics import CountsDynamics, Dynamics
+from .dynamics import CountsDynamics, Dynamics, validate_engine
 from .samplers import categorical_matrix, row_plurality
 
 __all__ = ["ThreeMajority", "HPlurality", "TwoSampleUniform", "three_majority_law"]
@@ -36,7 +45,7 @@ def three_majority_law(counts: np.ndarray) -> np.ndarray:
     """Lemma 1's exact next-color law for the 3-majority dynamics.
 
     ``p_j = (c_j / n^3) (n^2 + n c_j - sum_h c_h^2)``; rows sum to one by
-    the identity ``sum_j c_j = n``.
+    the identity ``sum_j c_j = n``.  Broadcasts over leading axes.
     """
     c = np.asarray(counts, dtype=np.float64)
     n = c.sum(axis=-1, keepdims=True)
@@ -52,35 +61,48 @@ class ThreeMajority(CountsDynamics):
     Parameters
     ----------
     agent_level:
-        When True, :meth:`step` samples explicit triples per agent instead
-        of using the Lemma 1 multinomial — statistically identical, ~n/k
-        times slower; used by the validation tests and the engine ablation.
+        Legacy spelling of ``engine="agent"``: :meth:`step` samples explicit
+        triples per agent instead of using the Lemma 1 multinomial —
+        statistically identical, ~n/k times slower; used by the validation
+        tests and the engine ablation.
     tie_break:
         ``"first"`` (paper's rule) or ``"uniform"``; only observable in
         agent-level mode and only through joint statistics — the marginal
         law (hence the counts process) is the same, which the ablation
         bench verifies empirically.
+    engine:
+        ``"counts"`` / ``"agent"`` / ``"auto"`` (= counts; the law always
+        exists).  Must agree with ``agent_level`` when both are given.
     """
 
     name = "3-majority"
     sample_size = 3
+    color_law_broadcasts = True
 
-    def __init__(self, agent_level: bool = False, tie_break: str = "first"):
+    def __init__(self, agent_level: bool = False, tie_break: str = "first", engine: str = "auto"):
         if tie_break not in ("first", "uniform"):
             raise ValueError(f"unknown tie_break {tie_break!r}")
+        validate_engine(engine)
+        if engine == "agent":
+            agent_level = True
+        elif engine == "counts" and agent_level:
+            raise ValueError("engine='counts' conflicts with agent_level=True")
         self.agent_level = bool(agent_level)
+        self.engine = "agent" if self.agent_level else "counts"
         self.tie_break = tie_break
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
-        return three_majority_law(np.asarray(counts, dtype=np.int64))
-
-    def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
-        return three_majority_law(np.asarray(counts, dtype=np.int64))
+        return three_majority_law(counts)
 
     def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         if not self.agent_level:
             return super().step(counts, rng)
         return self._agent_step(np.asarray(counts, dtype=np.int64), rng)
+
+    def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if not self.agent_level:
+            return super().step_many(counts, rng)
+        return Dynamics.step_many(self, counts, rng)
 
     def _agent_step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = int(counts.sum())
@@ -100,22 +122,141 @@ class ThreeMajority(CountsDynamics):
         return np.bincount(out, minlength=k).astype(np.int64)
 
 
-class HPlurality(Dynamics):
+class _CompositionTable:
+    """Exact-law machinery for one block of h-plurality sample multisets.
+
+    ``rows`` enumerates multisets of ``h`` samples over ``k`` colors (weak
+    compositions of ``h``), each row sorted ascending.  For a probability
+    vector ``p`` the block's law contribution is
+
+        ``law = (coeff * prod(p[sup_idx] ** sup_exp, axis=1)) @ winners``
+
+    where ``coeff`` is the multinomial coefficient, ``sup_idx``/``sup_exp``
+    the ≤ h support colors with their multiplicities (padding exponent 0,
+    exploiting ``0.0 ** 0 == 1.0``), and ``winners[r]`` splits row ``r``'s
+    mass uniformly over its maximal colors.
+    """
+
+    def __init__(self, h: int, k: int, rows: np.ndarray | None = None):
+        if rows is None:
+            rows = np.array(
+                list(itertools.combinations_with_replacement(range(k), h)), dtype=np.int64
+            )
+        mult = (rows[:, :, None] == rows[:, None, :]).sum(axis=2)  # multiplicity per slot
+        first = np.ones_like(rows, dtype=bool)
+        first[:, 1:] = rows[:, 1:] != rows[:, :-1]  # first slot of each distinct color
+        fact = np.array([math.factorial(i) for i in range(h + 1)], dtype=np.float64)
+        self.coeff = fact[h] / np.where(first, fact[mult], 1.0).prod(axis=1)
+        self.sup_idx = rows
+        self.sup_exp = np.where(first, mult, 0).astype(np.float64)
+        top = mult.max(axis=1, keepdims=True)
+        win = first & (mult == top)
+        weights = win / win.sum(axis=1, keepdims=True)
+        self.winners = np.zeros((rows.shape[0], k))
+        np.add.at(self.winners, (np.arange(rows.shape[0])[:, None], rows), weights)
+
+    def law(self, p: np.ndarray) -> np.ndarray:
+        """Exact law for ``p`` of shape ``(k,)`` or a batch ``(R, k)``."""
+        probs = self.coeff * np.prod(p[..., self.sup_idx] ** self.sup_exp, axis=-1)
+        return probs @ self.winners
+
+
+def _streamed_composition_law(h: int, k: int, p: np.ndarray, block_rows: int) -> np.ndarray:
+    """Composition law evaluated in bounded-memory blocks.
+
+    Used when the full ``(C, k)`` winner table would be too large to cache:
+    enumerate compositions in blocks, accumulate each block's contribution,
+    never materialising more than ``block_rows`` rows at once.
+    """
+    law = np.zeros(p.shape, dtype=np.float64)
+    stream = itertools.combinations_with_replacement(range(k), h)
+    while True:
+        block = list(itertools.islice(stream, block_rows))
+        if not block:
+            return law
+        law += _CompositionTable(h, k, np.array(block, dtype=np.int64)).law(p)
+
+
+class HPlurality(CountsDynamics):
     """h-plurality dynamics: adopt the plurality of ``h`` uniform samples.
 
     Ties among maximal sample colors are broken uniformly at random
-    (Section 4.3 of the paper).  Implemented agent-level; per-round cost is
-    O(n·h) sampling plus a chunked O(n·k) histogram reduction.
+    (Section 4.3 of the paper).
+
+    Parameters
+    ----------
+    h:
+        Sample size.
+    engine:
+        ``"counts"`` — exact multinomial stepping from the closed-form law
+        (``h <= 3``) or the composition-enumeration law (``h <= 5``, any
+        ``k``: oversized tables are evaluated in streamed blocks, correct
+        but slow — raises only for ``h > 5``); ``"agent"`` — explicit
+        per-agent sampling, O(n·h) per round; ``"auto"`` (default) — counts
+        whenever the composition table is comfortably small
+        (:attr:`_MAX_AUTO_COMPOSITIONS` rows), agent-level otherwise.
     """
 
     name = "h-plurality"
+    color_law_broadcasts = True
 
-    def __init__(self, h: int):
+    #: largest h with a counts-level engine (composition enumeration).
+    _MAX_COUNTS_H = 5
+    #: auto engine switches to agent-level above this many table rows.
+    _MAX_AUTO_COMPOSITIONS = 100_000
+    #: tables up to this many cells (rows × k) are built whole and cached;
+    #: larger laws are evaluated by streaming composition blocks instead.
+    _MAX_TABLE_CELLS = 2**24
+
+    def __init__(self, h: int, engine: str = "auto"):
         if h < 1:
             raise ValueError(f"h must be >= 1, got {h}")
         self.h = int(h)
         self.sample_size = self.h
         self.name = f"{h}-plurality"
+        self.engine = validate_engine(engine)
+        self._tables: dict[int, _CompositionTable] = {}
+
+    # -- engine selection ------------------------------------------------------
+
+    @staticmethod
+    def composition_count(h: int, k: int) -> int:
+        """Number of weak compositions of ``h`` into ``k`` parts."""
+        return math.comb(k + h - 1, h)
+
+    def counts_engine_available(self, k: int) -> bool:
+        """Whether the exact counts-level law exists at all (any ``k``)."""
+        return self.h <= self._MAX_COUNTS_H
+
+    def resolved_engine(self, k: int) -> str:
+        """The engine :meth:`step` will actually use at this ``k``."""
+        if self.engine == "agent":
+            return "agent"
+        if self.engine == "counts":
+            if not self.counts_engine_available(k):
+                raise ValueError(
+                    f"engine='counts' unavailable for {self.name} (h > {self._MAX_COUNTS_H})"
+                )
+            return "counts"
+        if self.h <= 3:
+            return "counts"
+        if (
+            self.h <= self._MAX_COUNTS_H
+            and self.composition_count(self.h, k) <= self._MAX_AUTO_COMPOSITIONS
+        ):
+            return "counts"
+        return "agent"
+
+    def _table(self, k: int) -> _CompositionTable:
+        table = self._tables.get(k)
+        if table is None:
+            table = self._tables[k] = _CompositionTable(self.h, k)
+        return table
+
+    # -- dynamics interface ----------------------------------------------------
+
+    def supports_exact_law(self) -> bool:
+        return self.h <= self._MAX_COUNTS_H
 
     def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         counts = np.asarray(counts, dtype=np.int64)
@@ -123,25 +264,62 @@ class HPlurality(Dynamics):
         k = counts.size
         if n == 0:
             return counts.copy()
-        if self.h == 1:
-            # 1-plurality is exactly the voter model: p = c / n.
-            from .samplers import multinomial_step
-
-            return multinomial_step(n, counts / n, rng)
+        if self.resolved_engine(k) == "counts":
+            return super().step(counts, rng)
         samples = categorical_matrix(counts, n, self.h, rng)
         winners = row_plurality(samples, k, rng)
         return np.bincount(winners, minlength=k).astype(np.int64)
 
-    def color_law(self, counts: np.ndarray) -> np.ndarray:
-        """Exact law, available for ``h = 1`` and ``h = 3`` only."""
+    def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         counts = np.asarray(counts, dtype=np.int64)
-        if self.h == 1:
-            return counts / counts.sum()
+        if counts.ndim != 2:
+            raise ValueError("step_many expects (R, k) counts")
+        if counts.shape[0] and self.resolved_engine(counts.shape[1]) != "counts":
+            return Dynamics.step_many(self, counts, rng)
+        return super().step_many(counts, rng)
+
+    def color_law(self, counts: np.ndarray) -> np.ndarray:
+        """Exact law: closed forms for ``h <= 3``, compositions for ``h <= 5``.
+
+        Broadcasts over leading axes (the composition path vectorizes over
+        replica batches through the same cached table).  When the full
+        composition table would exceed :attr:`_MAX_TABLE_CELLS` the law is
+        evaluated by streaming blocks — same result, bounded memory, O(C·h)
+        time (so very large ``k`` is slow but never wrong, keeping the
+        :meth:`supports_exact_law` contract exact for every ``h <= 5``).
+        """
+        c = np.asarray(counts, dtype=np.float64)
+        n = c.sum(axis=-1, keepdims=True)
+        if np.any(n <= 0):
+            raise ValueError("empty configuration has no color law")
+        k = c.shape[-1]
+        if self.h <= 2:
+            # h = 1 is the voter model; h = 2 with uniform tie-split also
+            # collapses to polling: p² + 2·p(1-p)/2 = p.
+            return c / n
         if self.h == 3:
-            return three_majority_law(counts)
-        raise NotImplementedError(
-            f"no closed-form color law for h={self.h}; use the agent-level step"
-        )
+            return three_majority_law(c)
+        if self.h > self._MAX_COUNTS_H:
+            raise NotImplementedError(
+                f"no tractable color law for {self.name}; use the agent-level engine"
+            )
+        p = c / n
+        replicas = p.shape[0] if p.ndim == 2 else 1
+        ncomp = self.composition_count(self.h, k)
+        if ncomp * k > self._MAX_TABLE_CELLS:
+            # Composition stream sized so each (R, block, h) intermediate
+            # stays within the cell budget.
+            block_rows = max(1, self._MAX_TABLE_CELLS // (k * replicas))
+            return _streamed_composition_law(self.h, k, p, block_rows)
+        table = self._table(k)
+        if p.ndim == 2 and replicas * ncomp * self.h > self._MAX_TABLE_CELLS:
+            # Large replica batches: evaluate in replica blocks so the
+            # (R, C, h) power intermediate stays bounded.
+            rows_per_block = max(1, self._MAX_TABLE_CELLS // (ncomp * self.h))
+            return np.concatenate(
+                [table.law(p[i : i + rows_per_block]) for i in range(0, replicas, rows_per_block)]
+            )
+        return table.law(p)
 
 
 class TwoSampleUniform(CountsDynamics):
@@ -154,11 +332,8 @@ class TwoSampleUniform(CountsDynamics):
 
     name = "2-sample-uniform"
     sample_size = 2
+    color_law_broadcasts = True
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
         c = np.asarray(counts, dtype=np.float64)
-        return c / c.sum()
-
-    def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
-        c = np.asarray(counts, dtype=np.float64)
-        return c / c.sum(axis=1, keepdims=True)
+        return c / c.sum(axis=-1, keepdims=True)

@@ -22,6 +22,7 @@ from .adversary import Adversary
 from .config import Configuration
 from .dynamics import Dynamics
 from .rng import make_rng, spawn_streams
+from .samplers import top_two
 
 __all__ = ["ProcessResult", "EnsembleResult", "run_process", "run_ensemble"]
 
@@ -82,7 +83,9 @@ class EnsembleResult:
     converged: np.ndarray
     plurality_color: int
     max_rounds: int
-    final_counts: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Per-replica final configurations; None when the producer did not
+    #: record them (consumers must check before use).
+    final_counts: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def replicas(self) -> int:
@@ -164,9 +167,10 @@ def run_process(
     traj: list[np.ndarray] = []
 
     def snapshot() -> None:
-        colored = np.sort(state[:k])[::-1]
-        plur_hist.append(int(colored[0]))
-        bias_hist.append(int(colored[0] - (colored[1] if k > 1 else 0)))
+        # O(k) two-max scan — no O(k log k) sort of the configuration.
+        c1, c2 = top_two(state[:k])
+        plur_hist.append(c1)
+        bias_hist.append(c1 - max(c2, 0))
         if record_trajectory:
             traj.append(state[:k].copy())
 
@@ -279,9 +283,7 @@ def run_ensemble(
         t += 1
         states = dynamics.step_many(states, generator)
         if adversary is not None:
-            for r in range(states.shape[0]):
-                colored = adversary.corrupt(states[r, :k], generator)
-                states[r, :k] = colored
+            states[:, :k] = adversary.corrupt_many(states[:, :k], generator)
         alive = absorb(live_idx, states, t)
         if not np.all(alive):
             live_idx = live_idx[alive]

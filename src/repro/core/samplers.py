@@ -28,11 +28,32 @@ __all__ = [
     "categorical_matrix",
     "row_plurality",
     "row_counts_dense",
+    "top_two",
 ]
 
 #: cells allowed in a transient (rows x k) one-hot count block (~256 MiB of
 #: int64 at the default); chunking keeps peak memory flat for any n.
 _DENSE_BLOCK_CELLS = 32 * 1024 * 1024
+
+
+def top_two(counts: np.ndarray) -> tuple[int, int]:
+    """Largest and second-largest entries of a count vector in O(k).
+
+    Replaces the ``np.sort(...)[::-1][:2]`` idiom on per-round snapshot
+    paths — two linear scans instead of an O(k log k) sort and a full copy.
+    For ``k == 1`` the runner-up is 0 (the bias convention of the paper's
+    ``s(c) = c_1 - c_2``).
+    """
+    c = np.asarray(counts)
+    top = int(np.argmax(c))
+    first = int(c[top])
+    if c.size <= 1:
+        return first, 0
+    second = max(
+        int(c[:top].max(initial=-1)),
+        int(c[top + 1 :].max(initial=-1)),
+    )
+    return first, second
 
 
 def multinomial_step(n: int, pvals: np.ndarray, rng: np.random.Generator) -> np.ndarray:

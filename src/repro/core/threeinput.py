@@ -31,6 +31,30 @@ Lemma 8, and is closed under everything Theorem 3's proof manipulates.
 ``low < mid < high``, ``delta[rho]`` counts the permutation patterns on
 which the rule returns the rank-``rho`` color; ``sum(delta) = 6`` and the
 uniform property is ``delta == (2, 2, 2)``.
+
+Exact O(k) color law
+--------------------
+Every rule in this family has a closed-form per-agent law, obtained by
+decomposing the ordered-triple distribution by equality pattern.  With
+``p = c/n``, ``B1/B2`` the strictly-below prefix sums of ``p``/``p²`` in
+the color order and ``A1/A2`` the strictly-above suffix sums:
+
+* all-equal triples contribute ``p_j³``;
+* each clear-majority pattern (probability ``p_a² p_b`` for pair color
+  ``a``, odd color ``b``) contributes, per the rule's choice,
+  ``major: p_j²(1-p_j)``, ``minor: p_j(S2-p_j²)``,
+  ``low: p_j² A1_j + p_j A2_j``, ``high: p_j² B1_j + p_j B2_j``;
+* the six orderings of a distinct set ``{x<y<z}`` are equally likely, so
+  the distinct part depends only on the δ-counters:
+  ``p_j (δ0 e2(A) + δ1 B1_j A1_j + δ2 e2(B))`` with
+  ``e2(A) = (A1² - A2)/2`` the sum of ``p_y p_z`` over pairs above ``j``
+  (and symmetrically below).
+
+Everything is prefix sums — O(k) per configuration, broadcastable over
+replica batches — which is what lets arbitrary 3-input rules ride the same
+exact multinomial engine as Lemma 1's 3-majority.  The O(k³) sum over all
+ordered triples is kept as :meth:`ThreeInputRule.color_law_reference` and
+cross-checked in the tests.
 """
 
 from __future__ import annotations
@@ -40,8 +64,8 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from .dynamics import Dynamics
-from .samplers import categorical_matrix, multinomial_step
+from .dynamics import CountsDynamics, Dynamics, validate_engine
+from .samplers import categorical_matrix
 
 __all__ = [
     "ThreeInputRule",
@@ -70,7 +94,7 @@ def _pattern_index(ra: np.ndarray, rb: np.ndarray, rc: np.ndarray) -> np.ndarray
     return ra * 9 + rb * 3 + rc
 
 
-class ThreeInputRule(Dynamics):
+class ThreeInputRule(CountsDynamics):
     """A concrete member of ``D3(k)``.
 
     Parameters
@@ -84,15 +108,23 @@ class ThreeInputRule(Dynamics):
         position in {0, 1, 2}.
     name:
         Identifier for result tables.
+    engine:
+        ``"counts"`` — exact multinomial stepping from the O(k) closed-form
+        law; ``"agent"`` — explicit per-agent triple sampling (the
+        statistical ground-truth path, O(n) per round); ``"auto"``
+        (default) — counts, since the exact law exists for every rule in
+        the family.
     """
 
     sample_size = 3
+    color_law_broadcasts = True
 
     def __init__(
         self,
         pair_choice: Mapping[str, str],
         distinct_choice: Mapping[tuple[int, int, int], int] | str,
         name: str = "3-input-rule",
+        engine: str = "auto",
     ):
         for pat in PAIR_PATTERNS:
             if pat not in pair_choice:
@@ -113,6 +145,7 @@ class ThreeInputRule(Dynamics):
                     raise ValueError(f"position must be 0/1/2, got {pos!r} for {pat}")
             self.distinct_choice = {tuple(p): int(v) for p, v in distinct_choice.items()}
         self.name = name
+        self.engine = validate_engine(engine)
 
     # -- classification (Definitions 2-4) ------------------------------------
 
@@ -205,29 +238,76 @@ class ThreeInputRule(Dynamics):
 
     # -- dynamics interface ----------------------------------------------------
 
+    def resolved_engine(self, k: int | None = None) -> str:
+        """The engine :meth:`step` will use (the O(k) law covers every k)."""
+        return "agent" if self.engine == "agent" else "counts"
+
     def step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.engine != "agent":
+            return super().step(counts, rng)
         counts = np.asarray(counts, dtype=np.int64)
         n = int(counts.sum())
         k = counts.size
         if n == 0:
             return counts.copy()
-        if self.supports_fast_law(k):
-            return multinomial_step(n, self.color_law(counts), rng)
         triples = categorical_matrix(counts, n, 3, rng)
         new_colors = self.apply(triples[:, 0], triples[:, 1], triples[:, 2], rng)
         return np.bincount(new_colors, minlength=k).astype(np.int64)
 
-    #: largest k for which the O(k^3) exact law is used on the hot path.
-    _EXACT_LAW_MAX_K = 32
+    def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.engine != "agent":
+            return super().step_many(counts, rng)
+        return Dynamics.step_many(self, counts, rng)
 
-    def supports_fast_law(self, k: int) -> bool:
-        return k <= self._EXACT_LAW_MAX_K
+    def _law_from_probs(self, p: np.ndarray) -> np.ndarray:
+        """O(k) closed-form law from color probabilities ``p`` (axis -1).
+
+        Broadcasts over any leading axes; see the module docstring for the
+        derivation of each equality-pattern term.
+        """
+        p2 = p * p
+        B1 = np.cumsum(p, axis=-1) - p  # strictly-below prefix sums
+        B2 = np.cumsum(p2, axis=-1) - p2
+        S1 = p.sum(axis=-1, keepdims=True)
+        S2 = p2.sum(axis=-1, keepdims=True)
+        A1 = S1 - B1 - p  # strictly-above suffix sums
+        A2 = S2 - B2 - p2
+        law = p * p2  # all-equal triples
+        for pattern in PAIR_PATTERNS:
+            choice = self.pair_choice[pattern]
+            if choice == "major":
+                law = law + p2 * (S1 - p)
+            elif choice == "minor":
+                law = law + p * (S2 - p2)
+            elif choice == "low":
+                law = law + p2 * A1 + p * A2
+            else:  # high
+                law = law + p2 * B1 + p * B2
+        d_low, d_mid, d_high = self.delta_counters()
+        law = law + p * (
+            d_low * 0.5 * (A1 * A1 - A2)
+            + d_mid * B1 * A1
+            + d_high * 0.5 * (B1 * B1 - B2)
+        )
+        return law
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
-        """Exact per-agent law by summing over all k^3 ordered triples.
+        """Exact per-agent law, O(k) via the equality-pattern decomposition.
 
-        O(k^3) memory and time — intended for small k (Theorem 3's
-        experiments use k = 2 or 3) and for the exact Markov analysis.
+        Accepts ``(..., k)`` stacked configurations and broadcasts over the
+        leading axes.
+        """
+        c = np.asarray(counts, dtype=np.float64)
+        n = c.sum(axis=-1, keepdims=True)
+        if np.any(n <= 0):
+            raise ValueError("empty configuration has no color law")
+        return self._law_from_probs(c / n)
+
+    def color_law_reference(self, counts: np.ndarray) -> np.ndarray:
+        """Exact law by brute-force summation over all k³ ordered triples.
+
+        O(k³) memory and time — the independent oracle the O(k) law is
+        validated against; not used on any hot path.
         """
         counts = np.asarray(counts, dtype=np.int64)
         k = counts.size

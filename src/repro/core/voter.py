@@ -25,17 +25,14 @@ class Voter(CountsDynamics):
 
     name = "voter"
     sample_size = 1
+    color_law_broadcasts = True
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
         c = np.asarray(counts, dtype=np.float64)
-        n = c.sum()
-        if n <= 0:
+        n = c.sum(axis=-1, keepdims=True)
+        if np.any(n <= 0):
             raise ValueError("empty configuration has no color law")
         return c / n
-
-    def color_law_batch(self, counts: np.ndarray) -> np.ndarray:
-        c = np.asarray(counts, dtype=np.float64)
-        return c / c.sum(axis=1, keepdims=True)
 
 
 class TwoChoices(CountsDynamics):

@@ -56,6 +56,7 @@ def run(scale: str, seed: int) -> ResultTable:
             "n",
             "k",
             "h",
+            "engine",
             "replicas",
             "win_rate",
             "median_rounds",
@@ -89,6 +90,7 @@ def run(scale: str, seed: int) -> ResultTable:
             n=n,
             k=k,
             h=h,
+            engine=dyn.resolved_engine(k),
             replicas=cfg["replicas"],
             win_rate=wins / cfg["replicas"],
             median_rounds=med,
@@ -108,6 +110,10 @@ def run(scale: str, seed: int) -> ResultTable:
             f"95% CI {fit.exponent_ci()[0]:.2f}..{fit.exponent_ci()[1]:.2f})"
         )
     table.add_note("rounds_x_h2_over_k should stay bounded away from 0 (Ω(k/h²) floor)")
+    table.add_note(
+        "engine column: 'counts' rows step through the exact composition-enumeration "
+        "law (h <= 5, small table); 'agent' rows pay O(n·h) per round"
+    )
     return table
 
 

@@ -13,12 +13,15 @@ Measurement
 Against the worst-case :class:`TargetedAdversary` (moves F plurality
 supporters to the runner-up each round — exactly the strategy the
 corollary's proof has to beat) we sweep ``F`` as a multiple of ``s/λ``.
-Each replica runs for a ``C·λ log n`` budget plus a holding window; we
-record whether the initial plurality survived as the top color, the
-minority mass at the end of the budget (the achieved M), and whether the
-almost-stable phase held through the window.  The reproduced shape: for
-``F`` well below ``s/λ`` the process stabilises with minority mass O(F);
-as ``F`` approaches and passes ``s/λ`` stabilisation degrades and fails.
+All replicas of a sweep point advance in lock-step through the exact
+counts-level engine (one batched multinomial per round) and one batched
+``corrupt_many`` call — no Python-level loop over replicas.  Each replica
+runs for a ``C·λ log n`` budget plus a holding window; we record whether
+the initial plurality survived as the top color, the minority mass at the
+end of the budget (the achieved M), and whether the almost-stable phase
+held through the window.  The reproduced shape: for ``F`` well below
+``s/λ`` the process stabilises with minority mass O(F); as ``F``
+approaches and passes ``s/λ`` stabilisation degrades and fails.
 """
 
 from __future__ import annotations
@@ -30,7 +33,6 @@ import numpy as np
 from ..analysis.bounds import lambda_for
 from ..core.adversary import TargetedAdversary
 from ..core.majority import ThreeMajority
-from ..core.process import run_process
 from ..core.rng import derive_seed
 from .harness import ExperimentSpec
 from .results import ResultTable
@@ -82,41 +84,40 @@ def run(scale: str, seed: int) -> ResultTable:
         ],
     )
     dyn = ThreeMajority()
+    replicas = cfg["replicas"]
+    plurality_color = int(np.argmax(config.counts))
+    total_rounds = budget_rounds + cfg["hold"]
     for frac in cfg["fractions"]:
         F = int(round(frac * s_over_lambda))
-        survived = 0
-        held = 0
-        minorities: list[int] = []
-        for rep in range(cfg["replicas"]):
-            rng = np.random.default_rng(derive_seed(seed, "E8", F, rep))
-            adversary = TargetedAdversary(F) if F > 0 else None
-            res = run_process(
-                dyn,
-                config,
-                max_rounds=budget_rounds + cfg["hold"],
-                adversary=adversary,
-                rng=rng,
-            )
-            # plurality history over the holding window after the budget
-            hist = res.plurality_history
-            window = hist[min(budget_rounds, hist.size - 1) :]
-            final_minority = int(n - window[-1])
-            minorities.append(final_minority)
-            top_is_plurality = bool(np.argmax(res.final_counts) == res.plurality_color)
-            survived += int(top_is_plurality)
-            # Held: every round of the window keeps minority mass <= max(4F, s/λ).
-            threshold = max(4 * F, s_over_lambda)
-            held += int(bool(np.all(n - window <= threshold)))
+        rng = np.random.default_rng(derive_seed(seed, "E8", F))
+        adversary = TargetedAdversary(F) if F > 0 else None
+        # All replicas advance in lock-step: one batched multinomial step and
+        # one batched corruption per round, with an O(R) top-count snapshot.
+        states = np.tile(config.counts, (replicas, 1))
+        top_hist = np.empty((total_rounds + 1, replicas), dtype=np.int64)
+        top_hist[0] = states.max(axis=1)
+        for t in range(1, total_rounds + 1):
+            states = dyn.step_many(states, rng)
+            if adversary is not None:
+                states = adversary.corrupt_many(states, rng)
+            top_hist[t] = states.max(axis=1)
+        # Per-replica outcomes over the holding window after the budget.
+        window = top_hist[min(budget_rounds, total_rounds) :]  # (W, R)
+        minorities = (n - window[-1]).astype(np.int64)
+        survived = int(np.sum(np.argmax(states, axis=1) == plurality_color))
+        # Held: every round of the window keeps minority mass <= max(4F, s/λ).
+        threshold = max(4 * F, s_over_lambda)
+        held = int(np.sum(np.all(n - window <= threshold, axis=0)))
         table.add_row(
             n=n,
             k=k,
             F=F,
             F_over_s_lambda=frac,
-            replicas=cfg["replicas"],
-            plurality_survived_rate=survived / cfg["replicas"],
+            replicas=replicas,
+            plurality_survived_rate=survived / replicas,
             median_final_minority=float(np.median(minorities)),
             minority_over_s_lambda=float(np.median(minorities)) / s_over_lambda,
-            held_window_rate=held / cfg["replicas"],
+            held_window_rate=held / replicas,
             budget_rounds=budget_rounds,
         )
     table.add_note(

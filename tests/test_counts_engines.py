@@ -1,0 +1,371 @@
+"""Cross-validation of the exact counts-level engines against agent-level stepping.
+
+Two layers of evidence that the closed-form laws are the true per-agent
+marginals:
+
+* **exactness** — the O(k) pattern-decomposed :meth:`ThreeInputRule.color_law`
+  must match the brute-force O(k³) sum over all ordered triples
+  (:meth:`~repro.core.threeinput.ThreeInputRule.color_law_reference`) to
+  floating-point precision, and the h-plurality composition law must
+  reproduce Lemma 1 exactly at ``h = 3`` and the voter law at ``h ∈ {1, 2}``;
+
+* **statistics** — aggregated agent-level steps must be consistent with the
+  law under a chi-square goodness-of-fit test and a total-variation
+  tolerance, for 3-majority, median, min/max, skewed and uniform-distinct
+  rules across k ∈ {2, 3, 5, 8}, and for h-plurality with h ∈ {2, 4, 5}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import (
+    BalancingAdversary,
+    Configuration,
+    HPlurality,
+    RandomAdversary,
+    ReviveAdversary,
+    TargetedAdversary,
+    ThreeInputRule,
+    ThreeMajority,
+    majority_rule,
+    majority_uniform_rule,
+    max_rule,
+    median_rule,
+    min_rule,
+    run_ensemble,
+    skewed_rule,
+    three_majority_law,
+)
+from repro.core.majority import _CompositionTable
+from repro.core.threeinput import DISTINCT_PATTERNS, PAIR_PATTERNS
+
+KS = (2, 3, 5, 8)
+
+#: Fixed configurations per k — all colors well supported so chi-square
+#: expected counts stay comfortably large.
+COUNTS = {
+    2: np.array([60, 40]),
+    3: np.array([45, 33, 22]),
+    5: np.array([30, 25, 20, 15, 10]),
+    8: np.array([22, 18, 15, 13, 11, 9, 7, 5]),
+}
+
+
+def _rule_panel():
+    return [
+        majority_rule(),
+        majority_uniform_rule(),
+        median_rule(),
+        min_rule(),
+        max_rule(),
+        skewed_rule((1, 3, 2)),
+    ]
+
+
+def _agent_variant(rule: ThreeInputRule) -> ThreeInputRule:
+    return ThreeInputRule(rule.pair_choice, rule.distinct_choice, rule.name, engine="agent")
+
+
+def _chi_square_ok(observed: np.ndarray, law: np.ndarray, total: int) -> None:
+    """Assert aggregated one-hot draws are consistent with ``law``."""
+    expected = law * total
+    # Pool ultra-rare cells into the largest one to keep the chi-square
+    # approximation honest; none of the fixtures should trigger this.
+    assert expected.min() > 1.0, "fixture produced a degenerate expected cell"
+    chi2 = float(((observed - expected) ** 2 / expected).sum())
+    crit = float(stats.chi2.isf(1e-6, df=law.size - 1))
+    assert chi2 < crit, f"chi2={chi2:.1f} crit={crit:.1f} obs={observed} exp={expected}"
+    tv = 0.5 * float(np.abs(observed / total - law).sum())
+    assert tv < 0.02, f"TV distance {tv:.4f} too large"
+
+
+class TestThreeInputLawExactness:
+    @pytest.mark.parametrize("k", KS)
+    def test_fast_law_matches_brute_force(self, k):
+        for rule in _rule_panel():
+            fast = rule.color_law(COUNTS[k])
+            ref = rule.color_law_reference(COUNTS[k])
+            assert np.allclose(fast, ref, atol=1e-12), (rule.name, k)
+            assert fast.sum() == pytest.approx(1.0)
+            assert (fast >= 0).all()
+
+    def test_fast_law_matches_brute_force_random_rules(self, rng):
+        # Random members of the position-based family, including non-major
+        # pair choices, at a k beyond the test grid.
+        for i in range(10):
+            pair = {p: ["major", "minor", "low", "high"][rng.integers(4)] for p in PAIR_PATTERNS}
+            distinct = {pat: int(rng.integers(3)) for pat in DISTINCT_PATTERNS}
+            rule = ThreeInputRule(pair, distinct, name=f"random-{i}")
+            counts = rng.integers(1, 40, size=11)
+            assert np.allclose(
+                rule.color_law(counts), rule.color_law_reference(counts), atol=1e-12
+            )
+
+    def test_majority_law_is_lemma1(self):
+        for k in KS:
+            assert np.allclose(
+                majority_rule().color_law(COUNTS[k]), three_majority_law(COUNTS[k])
+            )
+
+    def test_batch_law_matches_per_row(self, rng):
+        rule = skewed_rule((0, 4, 2))
+        batch = rng.integers(1, 50, size=(9, 6))
+        assert np.allclose(
+            rule.color_law_batch(batch), np.stack([rule.color_law(row) for row in batch])
+        )
+
+
+class TestThreeInputStatistical:
+    @pytest.mark.parametrize("k", KS)
+    def test_agent_engine_matches_counts_law(self, k):
+        counts = COUNTS[k]
+        n = int(counts.sum())
+        steps = 400
+        for rule in _rule_panel():
+            agent = _agent_variant(rule)
+            rng = np.random.default_rng(abs(hash((rule.name, k))) % 2**32)
+            acc = np.zeros(k)
+            for _ in range(steps):
+                acc += agent.step(counts, rng)
+            _chi_square_ok(acc, rule.color_law(counts), n * steps)
+
+    def test_counts_engine_matches_law_too(self):
+        # The multinomial engine itself, same aggregation, closes the loop.
+        counts = COUNTS[5]
+        rule = median_rule()
+        rng = np.random.default_rng(7)
+        acc = np.zeros(5)
+        steps = 400
+        for _ in range(steps):
+            acc += rule.step(counts, rng)
+        _chi_square_ok(acc, rule.color_law(counts), int(counts.sum()) * steps)
+
+    def test_ensembles_statistically_equivalent(self):
+        cfg = Configuration([600, 300, 100])
+        fast = run_ensemble(majority_rule(), cfg, 32, rng=1, max_rounds=2_000)
+        slow = run_ensemble(_agent_variant(majority_rule()), cfg, 32, rng=2, max_rounds=2_000)
+        assert fast.plurality_win_rate == slow.plurality_win_rate == 1.0
+        assert abs(fast.rounds_summary()["median"] - slow.rounds_summary()["median"]) < 3.0
+
+
+class TestHPluralityExactness:
+    @pytest.mark.parametrize("k", KS)
+    def test_h3_composition_table_is_lemma1(self, k):
+        p = COUNTS[k] / COUNTS[k].sum()
+        table = _CompositionTable(3, k)
+        assert np.allclose(table.law(p), three_majority_law(COUNTS[k]), atol=1e-12)
+
+    @pytest.mark.parametrize("h", (1, 2))
+    def test_small_h_collapses_to_voter(self, h):
+        counts = COUNTS[5]
+        assert np.allclose(HPlurality(h).color_law(counts), counts / counts.sum())
+        assert np.allclose(_CompositionTable(h, 5).law(counts / counts.sum()),
+                           counts / counts.sum(), atol=1e-12)
+
+    @pytest.mark.parametrize("h", (4, 5))
+    @pytest.mark.parametrize("k", KS)
+    def test_law_is_distribution(self, h, k):
+        law = HPlurality(h).color_law(COUNTS[k])
+        assert law.sum() == pytest.approx(1.0)
+        assert (law >= 0).all()
+
+    def test_law_handles_zero_counts(self):
+        law = HPlurality(5).color_law(np.array([30, 0, 20, 0]))
+        assert law.sum() == pytest.approx(1.0)
+        assert law[1] == 0.0 and law[3] == 0.0
+
+    def test_batch_law_matches_per_row(self, rng):
+        dyn = HPlurality(5)
+        batch = rng.integers(1, 50, size=(7, 4))
+        assert np.allclose(
+            dyn.color_law_batch(batch), np.stack([dyn.color_law(row) for row in batch])
+        )
+
+    def test_batch_law_chunked_paths_match(self, rng):
+        # Shrinking the cell budget forces the replica-block and streamed
+        # paths; both must agree with the unchunked evaluation exactly.
+        batch = rng.integers(1, 50, size=(13, 5))
+        reference = HPlurality(5).color_law_batch(batch)
+        replica_blocked = HPlurality(5)
+        replica_blocked._MAX_TABLE_CELLS = HPlurality.composition_count(5, 5) * 5  # table ok, batch not
+        streamed = HPlurality(5)
+        streamed._MAX_TABLE_CELLS = 32  # even the table must stream
+        for dyn in (replica_blocked, streamed):
+            assert np.allclose(dyn.color_law_batch(batch), reference, atol=1e-12)
+
+
+class TestHPluralityStatistical:
+    @pytest.mark.parametrize("h", (2, 4, 5))
+    @pytest.mark.parametrize("k", KS)
+    def test_agent_engine_matches_composition_law(self, h, k):
+        counts = COUNTS[k]
+        n = int(counts.sum())
+        law = HPlurality(h).color_law(counts)
+        agent = HPlurality(h, engine="agent")
+        rng = np.random.default_rng(h * 1000 + k)
+        steps = 400
+        acc = np.zeros(k)
+        for _ in range(steps):
+            acc += agent.step(counts, rng)
+        _chi_square_ok(acc, law, n * steps)
+
+    def test_counts_step_many_matches_law(self):
+        dyn = HPlurality(5)
+        counts = COUNTS[5]
+        rng = np.random.default_rng(11)
+        batch = np.tile(counts, (300, 1))
+        out = dyn.step_many(batch, rng)
+        assert (out.sum(axis=1) == counts.sum()).all()
+        _chi_square_ok(out.sum(axis=0).astype(float), dyn.color_law(counts),
+                       int(counts.sum()) * 300)
+
+
+class TestEngineSelection:
+    def test_three_input_engines(self):
+        assert majority_rule().resolved_engine() == "counts"
+        assert _agent_variant(majority_rule()).resolved_engine() == "agent"
+        with pytest.raises(ValueError, match="unknown engine"):
+            ThreeInputRule({p: "major" for p in PAIR_PATTERNS}, "uniform", engine="fast")
+
+    def test_hplurality_auto_resolution(self):
+        assert HPlurality(3).resolved_engine(1_000) == "counts"  # closed form, any k
+        assert HPlurality(5).resolved_engine(16) == "counts"  # small table
+        assert HPlurality(5).resolved_engine(64) == "agent"  # table too large for auto
+        assert HPlurality(8).resolved_engine(4) == "agent"  # no law beyond h=5
+
+    def test_hplurality_forced_counts_validates(self):
+        assert HPlurality(5, engine="counts").resolved_engine(8) == "counts"
+        with pytest.raises(ValueError, match="unavailable"):
+            HPlurality(8, engine="counts").resolved_engine(4)
+
+    def test_three_majority_engine_kwarg(self):
+        assert ThreeMajority(engine="agent").agent_level
+        assert ThreeMajority(engine="counts").engine == "counts"
+        with pytest.raises(ValueError, match="conflicts"):
+            ThreeMajority(agent_level=True, engine="counts")
+
+    def test_three_majority_agent_engine_covers_batch_path(self, rng):
+        # engine="agent" must hold on step_many too, not just step —
+        # otherwise ensemble cross-validation would compare the law to itself.
+        from repro import CountsDynamics
+
+        assert ThreeMajority.step_many is not CountsDynamics.step_many
+        dyn = ThreeMajority(engine="agent")
+        out = dyn.step_many(np.tile([50, 30, 20], (6, 1)), rng)
+        assert out.shape == (6, 3)
+        assert (out.sum(axis=1) == 100).all()
+
+    def test_hplurality_streamed_law_matches_table(self):
+        # Force the streaming path by shrinking the cache cap; the law must
+        # be identical to the whole-table evaluation.
+        dyn = HPlurality(5)
+        counts = np.array([22, 18, 15, 13, 11, 9, 7, 5])
+        whole = dyn.color_law(counts)
+        small_cap = HPlurality(5)
+        small_cap._MAX_TABLE_CELLS = 64  # instance override: stream in tiny blocks
+        streamed = small_cap.color_law(counts)
+        assert np.allclose(streamed, whole, atol=1e-12)
+        assert streamed.sum() == pytest.approx(1.0)
+
+    def test_empty_batches_round_trip(self, rng):
+        # (0, k) batches must come back as (0, k) on every engine path.
+        empty = np.zeros((0, 3), dtype=np.int64)
+        for dyn in (
+            ThreeMajority(),
+            ThreeMajority(engine="agent"),
+            HPlurality(5),
+            HPlurality(5, engine="agent"),
+            majority_rule(),
+            _agent_variant(majority_rule()),
+        ):
+            out = dyn.step_many(empty, rng)
+            assert out.shape == (0, 3), dyn.name
+
+    def test_hplurality_law_exists_whenever_supported(self):
+        # supports_exact_law() == True must guarantee color_law computes,
+        # even at a k where the composition table exceeds the cache cap.
+        dyn = HPlurality(4)
+        assert dyn.supports_exact_law()
+        k = 70  # C(73, 4) * 70 cells > _MAX_TABLE_CELLS
+        assert dyn.composition_count(4, k) * k > dyn._MAX_TABLE_CELLS
+        law = dyn.color_law(np.arange(1, k + 1))
+        assert law.sum() == pytest.approx(1.0)
+        assert (law >= 0).all()
+
+    def test_supports_exact_law_is_cached_and_structural(self):
+        dyn = ThreeMajority()
+        assert dyn.supports_exact_law()
+        assert dyn._supports_exact_law is True  # cached, no throwaway call
+        from repro.core.dynamics import Dynamics
+
+        class NoLaw(Dynamics):
+            def step(self, counts, rng):
+                return counts
+
+        class RaisingLaw(NoLaw):
+            def color_law(self, counts):
+                raise RuntimeError("arbitrary failure must not mean 'supported'")
+
+        assert not NoLaw().supports_exact_law()
+        # Overriding color_law means "has a law"; incidental exceptions from a
+        # probe can no longer be misread because no probe is ever made.
+        assert RaisingLaw().supports_exact_law()
+        assert not HPlurality(6).supports_exact_law()
+        assert HPlurality(4).supports_exact_law()
+
+
+class TestCorruptMany:
+    def _batch(self, rng, rows=12, k=5, n=200):
+        batch = np.stack(
+            [np.asarray(rng.multinomial(n, np.full(k, 1 / k)), dtype=np.int64) for _ in range(rows)]
+        )
+        return batch
+
+    @pytest.mark.parametrize(
+        "adv_cls", [TargetedAdversary, BalancingAdversary, RandomAdversary, ReviveAdversary]
+    )
+    def test_contract_held_on_batch(self, adv_cls, rng):
+        batch = self._batch(rng)
+        out = adv_cls(9).corrupt_many(batch, rng)
+        assert out.shape == batch.shape
+        assert (out.sum(axis=1) == batch.sum(axis=1)).all()
+        assert (out >= 0).all()
+        assert (np.abs(out - batch).sum(axis=1) // 2 <= 9).all()
+
+    @pytest.mark.parametrize("adv_cls", [TargetedAdversary, ReviveAdversary, BalancingAdversary])
+    def test_deterministic_batch_equals_per_row(self, adv_cls, rng):
+        batch = self._batch(rng)
+        adv = adv_cls(7)
+        out = adv.corrupt_many(batch, rng)
+        rows = np.stack([adv.corrupt(row, rng) for row in batch])
+        assert (out == rows).all()
+
+    def test_rejects_non_batch_input(self, rng):
+        with pytest.raises(ValueError, match="corrupt_many"):
+            TargetedAdversary(3).corrupt_many(np.array([5, 5]), rng)
+
+    def test_cheating_batch_adversary_caught(self, rng):
+        class Cheater(TargetedAdversary):
+            def _act_many(self, counts, rng):
+                counts[:, 0] += 1  # creates agents
+                return counts
+
+        with pytest.raises(RuntimeError, match="number of agents"):
+            Cheater(5).corrupt_many(self._batch(rng), rng)
+
+    def test_ensemble_with_adversary_uses_batched_path(self):
+        # The adversary keeps peeling 2 agents off the top each round, so the
+        # process never registers monochromatic — but the plurality must
+        # dominate every replica's final configuration.
+        cfg = Configuration.biased(2_000, 3, 600)
+        ens = run_ensemble(
+            majority_rule(), cfg, 8, rng=3, max_rounds=300, adversary=TargetedAdversary(2)
+        )
+        assert ens.replicas == 8
+        assert ens.final_counts is not None
+        assert (ens.final_counts.sum(axis=1) == 2_000).all()
+        assert (np.argmax(ens.final_counts, axis=1) == ens.plurality_color).all()
+        assert (ens.final_counts[:, ens.plurality_color] >= 1_900).all()

@@ -161,8 +161,16 @@ class TestHPlurality:
         assert np.allclose(HPlurality(3).color_law(counts), three_majority_law(counts))
 
     def test_no_law_for_general_h(self):
+        # h <= 5 now has the exact composition law; h = 6 is beyond it.
         with pytest.raises(NotImplementedError):
-            HPlurality(5).color_law(np.array([5, 5]))
+            HPlurality(6).color_law(np.array([5, 5]))
+        assert not HPlurality(6).supports_exact_law()
+        assert HPlurality(5).supports_exact_law()
+
+    def test_h5_law_is_distribution(self):
+        law = HPlurality(5).color_law(np.array([5, 3, 2]))
+        assert law.sum() == pytest.approx(1.0)
+        assert (law >= 0).all()
 
     def test_step_conserves_mass(self, rng):
         for h in (1, 2, 3, 5, 9):

@@ -84,6 +84,7 @@ class TestRunEnsemble:
         assert ens.rounds.shape == (16,)
         assert ens.converged.all()
         assert ens.plurality_win_rate == 1.0
+        assert ens.final_counts is not None
         assert ens.final_counts.shape == (16, 4)
 
     def test_rejects_zero_replicas(self):
@@ -120,6 +121,7 @@ class TestRunEnsemble:
         cfg = Configuration.biased(2_000, 3, 500)
         ens = run_ensemble(UndecidedState(), cfg, 8, rng=0, max_rounds=10_000)
         assert ens.converged.all()
+        assert ens.final_counts is not None
         assert ens.final_counts.shape == (8, 3)
 
     def test_rounds_summary_fields(self):
@@ -139,3 +141,6 @@ class TestRunEnsemble:
         )
         assert np.isnan(ens.plurality_win_rate)
         assert ens.replicas == 0
+        # final_counts is optional: absent here, and rounds_summary still works.
+        assert ens.final_counts is None
+        assert np.isnan(ens.rounds_summary()["median"])

@@ -14,6 +14,7 @@ from repro.core.samplers import (
     multinomial_step_batch,
     row_counts_dense,
     row_plurality,
+    top_two,
 )
 
 
@@ -185,3 +186,14 @@ def test_multinomial_step_mass(total):
     out = multinomial_step(total, np.array([0.2, 0.3, 0.5]), rng)
     assert out.sum() == total
     assert (out >= 0).all()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=12))
+def test_top_two_matches_sort(counts):
+    arr = np.array(counts, dtype=np.int64)
+    c1, c2 = top_two(arr)
+    ordered = np.sort(arr)[::-1]
+    assert c1 == ordered[0]
+    assert c2 == (ordered[1] if arr.size > 1 else 0)
+    # and the input is left untouched
+    assert (arr == np.array(counts)).all()
