@@ -1,0 +1,78 @@
+"""Facade-dispatch benchmarks: ``simulate_ensemble(spec)`` vs ``run_ensemble``.
+
+The declarative layer must be free: resolving a ScenarioSpec through the
+registries is a few dict lookups plus object construction, amortised over
+a whole replica ensemble.  The two timed benches land in
+``BENCH_results.json`` (tagged ``api=facade`` / ``api=direct``) so the
+dispatch cost is tracked across PRs, and the guard test *asserts* the
+overhead stays under 5%.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ScenarioSpec, ThreeMajority, run_ensemble, simulate_ensemble
+from repro.experiments.workloads import paper_biased
+
+N, K, REPLICAS, MAX_ROUNDS, SEED = 200_000, 16, 64, 2_000, 7
+
+SPEC = ScenarioSpec(
+    dynamics="3-majority",
+    initial="paper-biased",
+    n=N,
+    k=K,
+    replicas=REPLICAS,
+    max_rounds=MAX_ROUNDS,
+    seed=SEED,
+)
+
+
+def _direct():
+    return run_ensemble(
+        ThreeMajority(), paper_biased(N, K), REPLICAS, max_rounds=MAX_ROUNDS, rng=SEED
+    )
+
+
+def _facade():
+    return simulate_ensemble(SPEC)
+
+
+class TestFacadeDispatch:
+    def test_direct_run_ensemble(self, benchmark):
+        benchmark.extra_info.update(api="direct", n=N, k=K, replicas=REPLICAS)
+        ens = benchmark(_direct)
+        assert ens.convergence_rate == 1.0
+
+    def test_facade_simulate_ensemble(self, benchmark):
+        benchmark.extra_info.update(api="facade", n=N, k=K, replicas=REPLICAS)
+        ens = benchmark(_facade)
+        assert ens.convergence_rate == 1.0
+
+    def test_facade_overhead_under_5_percent(self):
+        """The guard: interleaved best-of-N wall times, facade <= 1.05 × direct.
+
+        Interleaving the two measurements (direct, facade, direct, ...)
+        decorrelates clock-frequency / load drift from the comparison, and
+        best-of over many repeats discards scheduler noise; the workload is
+        sized so one call is a few ms, two orders of magnitude above the
+        actual resolution cost (~tens of µs).
+        """
+
+        def timed(fn) -> float:
+            start = time.perf_counter()
+            ens = fn()
+            elapsed = time.perf_counter() - start
+            assert ens.convergence_rate == 1.0
+            return elapsed
+
+        timed(_direct), timed(_facade)  # warm caches (registration, tables, ...)
+        direct = facade = float("inf")
+        for _ in range(11):
+            direct = min(direct, timed(_direct))
+            facade = min(facade, timed(_facade))
+        overhead = facade / direct - 1.0
+        assert overhead < 0.05, (
+            f"facade dispatch overhead {overhead:.1%} exceeds 5% "
+            f"(direct {direct * 1e3:.2f} ms, facade {facade * 1e3:.2f} ms)"
+        )

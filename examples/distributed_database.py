@@ -20,24 +20,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Configuration, TargetedAdversary, ThreeMajority, run_process
+from repro import ScenarioSpec, simulate
 from repro.analysis import lambda_for
 from repro.experiments import theorem1_bias
 
 
 def reconcile(n_replicas: int, versions: int, byzantine: int, seed: int) -> dict:
     """One reconciliation campaign; returns stabilisation metrics."""
-    bias = theorem1_bias(n_replicas, versions)
-    cluster = Configuration.biased(n_replicas, versions, bias)
-    adversary = TargetedAdversary(byzantine) if byzantine else None
     budget = int(6 * lambda_for(n_replicas, versions) * np.log(n_replicas))
-    result = run_process(
-        ThreeMajority(),
-        cluster,
-        adversary=adversary,
+    # The whole campaign is one declarative scenario: dynamics, workload
+    # and adversary by registry name, Byzantine budget as a parameter.
+    spec = ScenarioSpec(
+        dynamics="3-majority",
+        initial="paper-biased",
+        n=n_replicas,
+        k=versions,
+        adversary="targeted" if byzantine else None,
+        adversary_params={"budget": byzantine} if byzantine else {},
         max_rounds=budget,
-        rng=seed,
+        seed=seed,
     )
+    result = simulate(spec)
     final = result.final_counts
     correct = result.plurality_color
     return {

@@ -23,14 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    MedianDynamics,
-    ThreeMajority,
-    TwoSampleUniform,
-    UndecidedState,
-    Voter,
-    run_ensemble,
-)
+from repro import ScenarioSpec, simulate_ensemble
 from repro.experiments import geometric_tail
 
 
@@ -43,12 +36,14 @@ def main() -> None:
     print(f"ground-truth winner: item{top} "
           f"(lead {popularity.bias} votes over runner-up)\n")
 
+    # Protocols by registry name (see `repro scenarios`): each run is one
+    # declarative ScenarioSpec over the same geometric-tail workload.
     protocols = [
-        ("1-sample polling", Voter()),
-        ("2-sample uniform", TwoSampleUniform()),
-        ("3-majority", ThreeMajority()),
-        ("median-of-ids", MedianDynamics()),
-        ("undecided-state", UndecidedState()),
+        ("1-sample polling", "voter"),
+        ("2-sample uniform", "2-sample-uniform"),
+        ("3-majority", "3-majority"),
+        ("median-of-ids", "median"),
+        ("undecided-state", "undecided-state"),
     ]
     replicas = 24
     header = (
@@ -57,9 +52,17 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for name, dynamics in protocols:
-        ens = run_ensemble(
-            dynamics, popularity, replicas, max_rounds=500_000, rng=hash(name) % 2**32
+        spec = ScenarioSpec(
+            dynamics=dynamics,
+            initial="geometric-tail",
+            initial_params={"ratio": 0.82},
+            n=n,
+            k=items,
+            replicas=replicas,
+            max_rounds=500_000,
+            seed=hash(name) % 2**32,
         )
+        ens = simulate_ensemble(spec)
         rate = ens.plurality_win_rate
         med = ens.rounds_summary()["median"]
         if rate > 0.9:

@@ -1,13 +1,17 @@
 #!/usr/bin/env python
-"""Quickstart: run the 3-majority dynamics and watch it elect the plurality.
+"""Quickstart: declare a scenario, run it, and watch it elect the plurality.
 
 This walks the three layers of the public API:
 
-1. build an initial configuration with a controlled bias;
-2. run a single trajectory (with trajectory recording) and inspect the
-   three proof phases;
-3. run a replica ensemble for statistics, and compare the measured time
-   with the theorem's λ log n prediction.
+1. declare a :class:`repro.ScenarioSpec` — dynamics, initial workload and
+   run knobs as *data*, using registry names (``repro scenarios`` lists
+   them: ``"3-majority"``, ``"h-plurality"``, ``"paper-biased"``, ...);
+2. run a single trajectory through :func:`repro.simulate` (with
+   trajectory recording) and inspect the three proof phases;
+3. run a replica ensemble through :func:`repro.simulate_ensemble` for
+   statistics, compare the measured time with the theorem's λ log n
+   prediction, and round-trip the scenario through JSON — the same file
+   ``repro simulate scenario.json`` accepts.
 
 Run:  python examples/quickstart.py
 """
@@ -16,23 +20,30 @@ from __future__ import annotations
 
 import math
 
-from repro import Configuration, ThreeMajority, run_ensemble, run_process
+from repro import ScenarioSpec, simulate, simulate_ensemble
 from repro.analysis import lambda_for, phase_segments, theorem1_rounds
-from repro.experiments import ascii_plot, theorem1_bias
+from repro.experiments import ascii_plot
 
 
 def main() -> None:
     n, k = 200_000, 16
-    bias = theorem1_bias(n, k)  # Corollary 1's sqrt(2 λ n log n) shape
-    config = Configuration.biased(n, k, bias)
+    spec = ScenarioSpec(
+        dynamics="3-majority",
+        initial="paper-biased",  # Corollary 1's sqrt(2 λ n log n) bias shape
+        n=n,
+        k=k,
+        replicas=64,
+        seed=0,
+    )
+    config = spec.resolve().initial
     print(f"n={n}, k={k}, initial bias s={config.bias} "
           f"(plurality holds {config.plurality_count} agents)")
 
     # --- one trajectory -------------------------------------------------
-    dynamics = ThreeMajority()
-    result = run_process(dynamics, config, rng=0, record_trajectory=True)
+    result = simulate(spec, record_trajectory=True)
     assert result.plurality_won
-    print(f"\nconsensus on color {result.winner} after {result.rounds} rounds")
+    print(f"\nconsensus on color {result.winner} after {result.rounds} rounds "
+          f"(stopped by: {result.stopped_by})")
 
     print("\nproof phases traversed (Lemmas 3 → 4 → 5):")
     for seg in phase_segments(result.trajectory):
@@ -52,15 +63,20 @@ def main() -> None:
     )
 
     # --- an ensemble -----------------------------------------------------
-    ens = run_ensemble(dynamics, config, replicas=64, rng=1)
+    ens = simulate_ensemble(spec.with_overrides(seed=1))
     summary = ens.rounds_summary()
     lam = lambda_for(n, k)
     predicted = theorem1_rounds(n, lam)
-    print(f"\n64 replicas: win rate {ens.plurality_win_rate:.2f}, "
+    print(f"\n{ens.replicas} replicas: win rate {ens.plurality_win_rate:.2f}, "
           f"median {summary['median']:.0f} rounds, p90 {summary['p90']:.0f}")
     print(f"Theorem 1 scale λ·log(n) = {predicted:.0f} "
           f"(measured/predicted = {summary['median'] / predicted:.2f})")
     print(f"log2(n) for perspective: {math.log2(n):.1f}")
+
+    # --- the scenario is data --------------------------------------------
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    print("\nthis exact scenario as JSON (runnable via `repro simulate <file>`):")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

@@ -25,14 +25,22 @@ Quickstart
 """
 
 from .core import (
+    ADVERSARIES,
+    DYNAMICS,
+    STOPPING,
+    WORKLOADS,
     Adversary,
+    AnyOfStop,
     BalancingAdversary,
+    BiasThresholdStop,
     Configuration,
     CountsDynamics,
     Dynamics,
     EnsembleResult,
     HPlurality,
     MedianDynamics,
+    MonochromaticStop,
+    PluralityFractionStop,
     PairwiseProtocol,
     PairwiseVoter,
     PopulationProcess,
@@ -40,6 +48,8 @@ from .core import (
     ProcessResult,
     RandomAdversary,
     ReviveAdversary,
+    RoundBudgetStop,
+    StoppingRule,
     TargetedAdversary,
     ThreeInputRule,
     ThreeMajority,
@@ -60,33 +70,48 @@ from .core import (
     run_process,
     skewed_rule,
     spawn_streams,
+    stopping_from_dict,
+    three_input_rule,
     three_majority_law,
 )
+from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ADVERSARIES",
     "Adversary",
+    "AnyOfStop",
     "BalancingAdversary",
+    "BiasThresholdStop",
     "Configuration",
     "CountsDynamics",
+    "DYNAMICS",
     "Dynamics",
     "EnsembleResult",
     "HPlurality",
     "MedianDynamics",
+    "MonochromaticStop",
     "PairwiseProtocol",
     "PairwiseVoter",
     "PopulationProcess",
     "PopulationResult",
+    "PluralityFractionStop",
     "ProcessResult",
     "RandomAdversary",
+    "ResolvedScenario",
     "ReviveAdversary",
+    "RoundBudgetStop",
+    "STOPPING",
+    "ScenarioSpec",
+    "StoppingRule",
     "TargetedAdversary",
     "ThreeInputRule",
     "ThreeMajority",
     "TwoChoices",
     "TwoSampleUniform",
     "UndecidedPopulation",
+    "WORKLOADS",
     "UndecidedState",
     "Voter",
     "__version__",
@@ -100,7 +125,11 @@ __all__ = [
     "min_rule",
     "run_ensemble",
     "run_process",
+    "simulate",
+    "simulate_ensemble",
     "skewed_rule",
     "spawn_streams",
+    "stopping_from_dict",
+    "three_input_rule",
     "three_majority_law",
 ]

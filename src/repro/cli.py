@@ -1,4 +1,4 @@
-"""Command-line interface: list, describe and run the experiment suite.
+"""Command-line interface: experiments, figures and declarative scenarios.
 
 Usage (installed as ``repro`` or via ``python -m repro.cli``)::
 
@@ -6,14 +6,23 @@ Usage (installed as ``repro`` or via ``python -m repro.cli``)::
     repro describe E5
     repro run E2 --scale small --seed 0
     repro run all --scale smoke --csv-dir out/
+    repro scenarios
+    repro simulate scenario.json --json
+    repro simulate --dynamics 3-majority --initial paper-biased \\
+        --n 100000 --k 8 --replicas 32 --seed 0
 
 Each run prints the experiment's ResultTable; ``--csv-dir`` additionally
-writes one CSV per experiment for downstream plotting.
+writes one CSV per experiment for downstream plotting.  ``simulate``
+executes one declarative :class:`~repro.scenario.ScenarioSpec` — from a
+JSON file or assembled from inline flags — and ``scenarios`` lists every
+registered dynamics/workload/adversary/stopping-rule name a spec may
+reference.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -21,6 +30,16 @@ import time
 from .experiments.registry import ALL_EXPERIMENTS, get_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _json_flag(text: str) -> dict:
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise argparse.ArgumentTypeError(f"not valid JSON: {exc}") from exc
+    if not isinstance(value, dict):
+        raise argparse.ArgumentTypeError(f"expected a JSON object, got {type(value).__name__}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +64,37 @@ def build_parser() -> argparse.ArgumentParser:
     plot.add_argument("figure", help="figure id, e.g. F3, or 'all'")
     plot.add_argument("--scale", default="small", choices=("smoke", "small", "paper"))
     plot.add_argument("--seed", type=int, default=0)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list registered dynamics/workloads/adversaries/stopping rules"
+    )
+    scenarios.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    sim = sub.add_parser(
+        "simulate", help="run a declarative scenario (JSON file or inline flags)"
+    )
+    sim.add_argument("scenario", nargs="?", default=None, help="path to a scenario JSON file")
+    sim.add_argument("--dynamics", default=None, help="registered dynamics name")
+    sim.add_argument("--initial", default=None, help="registered workload name")
+    sim.add_argument("--adversary", default=None, help="registered adversary name")
+    sim.add_argument("--n", type=int, default=None, help="number of agents")
+    sim.add_argument("--k", type=int, default=None, help="number of colors")
+    sim.add_argument("--replicas", type=int, default=None)
+    sim.add_argument("--max-rounds", type=int, default=None)
+    sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument(
+        "--dynamics-params", type=_json_flag, default=None, help='JSON object, e.g. \'{"h": 5}\''
+    )
+    sim.add_argument("--initial-params", type=_json_flag, default=None, help="JSON object")
+    sim.add_argument("--adversary-params", type=_json_flag, default=None, help="JSON object")
+    sim.add_argument(
+        "--stopping",
+        type=_json_flag,
+        default=None,
+        help='stopping-rule JSON, e.g. \'{"rule": "plurality-fraction", "fraction": 0.9}\'',
+    )
+    sim.add_argument("--json", action="store_true", help="emit machine-readable result JSON")
+    sim.add_argument("--save-spec", default=None, help="also write the resolved spec JSON here")
     return parser
 
 
@@ -61,6 +111,126 @@ def _run_one(experiment_id: str, scale: str, seed: int, csv_dir: str | None) -> 
         table.write_csv(path)
         print(f"[{spec.id}] wrote {path}")
     print()
+
+
+def _spec_from_args(args: argparse.Namespace):
+    from .scenario import ScenarioSpec
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("replicas", args.replicas),
+            ("max_rounds", args.max_rounds),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    if args.scenario is not None:
+        spec = ScenarioSpec.from_file(args.scenario)
+        inline_only = (
+            "dynamics",
+            "initial",
+            "adversary",
+            "n",
+            "k",
+            "dynamics_params",
+            "initial_params",
+            "adversary_params",
+            "stopping",
+        )
+        clashes = [name for name in inline_only if getattr(args, name) is not None]
+        if clashes:
+            flags = ", ".join("--" + name.replace("_", "-") for name in clashes)
+            raise SystemExit(
+                f"{flags} cannot be combined with a scenario file; "
+                "edit the file or drop the flags (only --replicas/--max-rounds/--seed "
+                "override a file)"
+            )
+        return spec.with_overrides(**overrides) if overrides else spec
+    if args.dynamics is None or args.n is None or args.k is None:
+        raise SystemExit("inline scenarios need at least --dynamics, --n and --k")
+    fields = dict(
+        dynamics=args.dynamics,
+        n=args.n,
+        k=args.k,
+        dynamics_params=args.dynamics_params or {},
+        initial_params=args.initial_params or {},
+        adversary=args.adversary,
+        adversary_params=args.adversary_params or {},
+        stopping=args.stopping,
+        **overrides,
+    )
+    if args.initial is not None:
+        fields["initial"] = args.initial
+    return ScenarioSpec(**fields)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .scenario import simulate_ensemble
+
+    spec = _spec_from_args(args).validate()
+    if args.save_spec:
+        spec.save(args.save_spec)
+    start = time.perf_counter()
+    ens = simulate_ensemble(spec)
+    elapsed = time.perf_counter() - start
+    summary = ens.rounds_summary()
+    record = {
+        "spec": spec.to_dict(),
+        "replicas": ens.replicas,
+        "plurality_color": ens.plurality_color,
+        "plurality_win_rate": ens.plurality_win_rate,
+        "convergence_rate": ens.convergence_rate,
+        "rounds": summary,
+        "stop_reasons": ens.stop_reasons(),
+        "wall_seconds": elapsed,
+    }
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"scenario: {spec.dynamics} on {spec.initial} "
+        f"(n={spec.n}, k={spec.k}, replicas={spec.replicas}, seed={spec.seed})"
+    )
+    if spec.adversary:
+        print(f"adversary: {spec.adversary} {spec.adversary_params}")
+    if spec.stopping:
+        print(f"stopping: {spec.stopping}")
+    print(
+        f"plurality win rate {ens.plurality_win_rate:.3f}, "
+        f"convergence rate {ens.convergence_rate:.3f}"
+    )
+    print(
+        "rounds: "
+        + ", ".join(f"{key}={value:.1f}" for key, value in summary.items())
+    )
+    reasons = ", ".join(f"{name}×{count}" for name, count in sorted(ens.stop_reasons().items()))
+    print(f"stopped by: {reasons}")
+    print(f"completed in {elapsed:.2f}s")
+    return 0
+
+
+def _cmd_scenarios(as_json: bool) -> int:
+    from .core.registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS
+    from .scenario import ScenarioSpec
+
+    ScenarioSpec.registries()  # force registration of every component
+    if as_json:
+        print(json.dumps(ScenarioSpec.registries(), indent=2, sort_keys=True))
+        return 0
+    for title, registry in (
+        ("dynamics", DYNAMICS),
+        ("workloads (initial)", WORKLOADS),
+        ("adversaries", ADVERSARIES),
+        ("stopping rules", STOPPING),
+    ):
+        print(f"{title}:")
+        for name, entry in registry.items():
+            params = ", ".join(p for p in entry.parameter_names() if p not in ("n", "k"))
+            suffix = f"  [{params}]" if params else ""
+            print(f"  {name:22s} {entry.summary}{suffix}")
+        print()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
             print(render_figure(figure_id, scale=args.scale, seed=args.seed))
             print()
         return 0
+    if args.command == "scenarios":
+        return _cmd_scenarios(args.json)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     return 2  # pragma: no cover — argparse enforces the choices
 
 

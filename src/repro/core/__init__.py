@@ -19,7 +19,17 @@ from .population import (
     UndecidedPopulation,
 )
 from .process import EnsembleResult, ProcessResult, run_ensemble, run_process
+from .registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS, Registry
 from .rng import derive_seed, make_rng, spawn_streams, stream_iter
+from .stopping import (
+    AnyOfStop,
+    BiasThresholdStop,
+    MonochromaticStop,
+    PluralityFractionStop,
+    RoundBudgetStop,
+    StoppingRule,
+    stopping_from_dict,
+)
 from .threeinput import (
     DISTINCT_PATTERNS,
     PAIR_PATTERNS,
@@ -32,31 +42,43 @@ from .threeinput import (
     median_rule,
     min_rule,
     skewed_rule,
+    three_input_rule,
 )
 from .undecided import UndecidedState
 from .voter import TwoChoices, Voter
 
 __all__ = [
+    "ADVERSARIES",
     "Adversary",
+    "AnyOfStop",
     "BalancingAdversary",
+    "BiasThresholdStop",
     "Configuration",
     "CountsDynamics",
     "DISTINCT_PATTERNS",
+    "DYNAMICS",
     "Dynamics",
     "EnsembleResult",
     "HPlurality",
     "MedianDynamics",
+    "MonochromaticStop",
     "PairwiseProtocol",
     "PairwiseVoter",
     "PopulationProcess",
     "PopulationResult",
     "PAIR_PATTERNS",
+    "PluralityFractionStop",
     "ProcessResult",
     "RandomAdversary",
+    "Registry",
     "ReviveAdversary",
+    "RoundBudgetStop",
+    "STOPPING",
+    "StoppingRule",
     "TargetedAdversary",
     "ThreeInputRule",
     "ThreeMajority",
+    "WORKLOADS",
     "TwoChoices",
     "TwoSampleUniform",
     "UndecidedPopulation",
@@ -75,6 +97,8 @@ __all__ = [
     "run_process",
     "skewed_rule",
     "spawn_streams",
+    "stopping_from_dict",
     "stream_iter",
+    "three_input_rule",
     "three_majority_law",
 ]

@@ -25,6 +25,8 @@ import abc
 
 import numpy as np
 
+from .registry import ADVERSARIES
+
 __all__ = [
     "Adversary",
     "TargetedAdversary",
@@ -93,6 +95,7 @@ class Adversary(abc.ABC):
         return f"{type(self).__name__}(budget={self.budget})"
 
 
+@ADVERSARIES.register("targeted")
 class TargetedAdversary(Adversary):
     """Worst-case strategy: move plurality supporters to the runner-up.
 
@@ -118,6 +121,7 @@ class TargetedAdversary(Adversary):
         return counts
 
 
+@ADVERSARIES.register("balancing")
 class BalancingAdversary(Adversary):
     """Greedy bias-minimiser: repeatedly level the top two colors.
 
@@ -145,6 +149,7 @@ class BalancingAdversary(Adversary):
         return counts
 
 
+@ADVERSARIES.register("random")
 class RandomAdversary(Adversary):
     """Noise model: recolor ``budget`` uniformly random agents uniformly.
 
@@ -173,6 +178,7 @@ class RandomAdversary(Adversary):
         return counts
 
 
+@ADVERSARIES.register("revive")
 class ReviveAdversary(Adversary):
     """Keeps minority colors alive: feeds the weakest supported-or-dead color.
 

@@ -20,6 +20,18 @@ Dynamics that carry extra per-agent state beyond the color (the
 undecided-state protocol) extend the state vector with additional slots and
 document the convention; see :mod:`repro.core.undecided`.
 
+Registry names
+--------------
+Every concrete dynamics is registered in
+:data:`repro.core.registry.DYNAMICS` under a string key — ``"3-majority"``,
+``"h-plurality"``, ``"2-sample-uniform"``, ``"voter"``, ``"two-choices"``,
+``"median"``, ``"undecided-state"``, plus the 3-input-rule factories
+(``"majority-rule"``, ``"median-rule"``, ``"skewed-rule"``,
+``"three-input-rule"``, ...) — so a declarative
+:class:`~repro.scenario.ScenarioSpec` can reference it by name; run
+``repro scenarios`` for the full annotated list.  Constructor keywords
+(``h=``, ``engine=``, ...) travel in the spec's ``dynamics_params`` dict.
+
 Engine-selection matrix
 -----------------------
 Two execution engines exist (see :mod:`repro.core.samplers`): the exact

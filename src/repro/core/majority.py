@@ -36,6 +36,7 @@ import math
 import numpy as np
 
 from .dynamics import CountsDynamics, Dynamics, validate_engine
+from .registry import DYNAMICS
 from .samplers import categorical_matrix, row_plurality
 
 __all__ = ["ThreeMajority", "HPlurality", "TwoSampleUniform", "three_majority_law"]
@@ -55,6 +56,7 @@ def three_majority_law(counts: np.ndarray) -> np.ndarray:
     return (c / n**3) * (n**2 + n * c - sq)
 
 
+@DYNAMICS.register("3-majority", summary="3-majority on the clique (Lemma 1 exact law)")
 class ThreeMajority(CountsDynamics):
     """3-majority dynamics on the clique (exact counts-level engine).
 
@@ -177,6 +179,7 @@ def _streamed_composition_law(h: int, k: int, p: np.ndarray, block_rows: int) ->
         law += _CompositionTable(h, k, np.array(block, dtype=np.int64)).law(p)
 
 
+@DYNAMICS.register("h-plurality", summary="plurality of h uniform samples (Section 4.3)")
 class HPlurality(CountsDynamics):
     """h-plurality dynamics: adopt the plurality of ``h`` uniform samples.
 
@@ -322,6 +325,7 @@ class HPlurality(CountsDynamics):
         return table.law(p)
 
 
+@DYNAMICS.register("2-sample-uniform", summary="two samples, uniform tie-break (= polling)")
 class TwoSampleUniform(CountsDynamics):
     """Two samples with uniform tie-breaking — provably just polling.
 

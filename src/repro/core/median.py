@@ -23,10 +23,12 @@ from __future__ import annotations
 import numpy as np
 
 from .dynamics import CountsDynamics
+from .registry import DYNAMICS
 
 __all__ = ["MedianDynamics"]
 
 
+@DYNAMICS.register("median", summary="Doerr et al. median rule (the paper's foil)")
 class MedianDynamics(CountsDynamics):
     """Doerr et al.'s median rule: own value + two uniform samples."""
 

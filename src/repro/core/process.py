@@ -14,6 +14,8 @@ empirical success probabilities and convergence-time distributions.
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,8 +25,39 @@ from .config import Configuration
 from .dynamics import Dynamics
 from .rng import make_rng, spawn_streams
 from .samplers import top_two
+from .stopping import (
+    BUDGET_EXHAUSTED,
+    AnyOfStop,
+    PluralityFractionStop,
+    StoppingRule,
+    stopping_from_dict,
+)
 
 __all__ = ["ProcessResult", "EnsembleResult", "run_process", "run_ensemble"]
+
+#: ``stopped_by`` label for replicas absorbed in a monochromatic state.
+_MONO = "monochromatic"
+
+
+def _resolve_stopping(
+    stopping: StoppingRule | Mapping | None,
+    stop_at_plurality_fraction: float | None,
+) -> StoppingRule | None:
+    """Normalise the ``stopping`` argument and apply the deprecation shim."""
+    if isinstance(stopping, Mapping):
+        stopping = stopping_from_dict(stopping)
+    if stopping is not None and not isinstance(stopping, StoppingRule):
+        raise TypeError(f"stopping must be a StoppingRule or dict, got {stopping!r}")
+    if stop_at_plurality_fraction is not None:
+        warnings.warn(
+            "stop_at_plurality_fraction is deprecated; pass "
+            "stopping=PluralityFractionStop(fraction) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        shim = PluralityFractionStop(stop_at_plurality_fraction)
+        stopping = shim if stopping is None else AnyOfStop([stopping, shim])
+    return stopping
 
 
 @dataclass
@@ -53,6 +86,10 @@ class ProcessResult:
     bias_history / plurality_history:
         Per-round ``s(c)`` and max-count series (always recorded; O(1)
         per round).
+    stopped_by:
+        Why the run ended: ``"monochromatic"`` (absorbed), the name of the
+        stopping rule that fired, or ``"max-rounds"`` when ``max_rounds``
+        expired with neither.
     """
 
     converged: bool
@@ -63,6 +100,7 @@ class ProcessResult:
     bias_history: np.ndarray
     plurality_history: np.ndarray
     trajectory: np.ndarray | None = None
+    stopped_by: str | None = None
 
     @property
     def plurality_won(self) -> bool:
@@ -86,10 +124,20 @@ class EnsembleResult:
     #: Per-replica final configurations; None when the producer did not
     #: record them (consumers must check before use).
     final_counts: np.ndarray | None = field(repr=False, default=None)
+    #: Per-replica stop labels (object array of str, same vocabulary as
+    #: ``ProcessResult.stopped_by``); None when the producer predates them.
+    stopped_by: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def replicas(self) -> int:
         return int(self.rounds.size)
+
+    def stop_reasons(self) -> dict[str, int]:
+        """Histogram of ``stopped_by`` labels over the replicas."""
+        if self.stopped_by is None:
+            return {}
+        labels, counts = np.unique(self.stopped_by.astype(str), return_counts=True)
+        return {str(label): int(count) for label, count in zip(labels, counts)}
 
     @property
     def plurality_wins(self) -> np.ndarray:
@@ -143,6 +191,7 @@ def run_process(
     max_rounds: int = 1_000_000,
     adversary: Adversary | None = None,
     record_trajectory: bool = False,
+    stopping: StoppingRule | Mapping | None = None,
     stop_at_plurality_fraction: float | None = None,
     rng: int | np.random.Generator | None = None,
 ) -> ProcessResult:
@@ -150,11 +199,16 @@ def run_process(
 
     Parameters
     ----------
+    stopping:
+        Optional early-stop rule (a :class:`~repro.core.stopping.StoppingRule`
+        or its serialized dict), checked on the color counts after every
+        round; monochromatic absorption always ends the run regardless.
+        The rule that fired is recorded in ``ProcessResult.stopped_by``.
     stop_at_plurality_fraction:
-        Optional early stop: halt once the top color holds at least this
-        fraction of agents (used by the phase-structure experiment E10 and
-        by Theorem 2's "doubling time" measurements).
+        Deprecated spelling of
+        ``stopping=PluralityFractionStop(fraction)``; kept as a shim.
     """
+    stopping = _resolve_stopping(stopping, stop_at_plurality_fraction)
     generator = make_rng(rng)
     state, k = _prepare_state(dynamics, initial)
     n = int(state.sum())
@@ -177,6 +231,7 @@ def run_process(
     snapshot()
     rounds = 0
     converged = _is_monochromatic(state, k)
+    stopped_by = _MONO if converged else None
     while not converged and rounds < max_rounds:
         state = dynamics.step(state, generator)
         if adversary is not None:
@@ -188,12 +243,12 @@ def run_process(
         rounds += 1
         snapshot()
         converged = _is_monochromatic(state, k)
-        if (
-            not converged
-            and stop_at_plurality_fraction is not None
-            and plur_hist[-1] >= stop_at_plurality_fraction * n
-        ):
-            break
+        if converged:
+            stopped_by = _MONO
+        elif stopping is not None:
+            stopped_by = stopping.fired(state[:k], n, rounds)
+            if stopped_by is not None:
+                break
 
     winner = int(np.argmax(state[:k])) if converged else None
     return ProcessResult(
@@ -205,6 +260,7 @@ def run_process(
         bias_history=np.asarray(bias_hist, dtype=np.int64),
         plurality_history=np.asarray(plur_hist, dtype=np.int64),
         trajectory=np.asarray(traj) if record_trajectory else None,
+        stopped_by=stopped_by if stopped_by is not None else BUDGET_EXHAUSTED,
     )
 
 
@@ -215,6 +271,7 @@ def run_ensemble(
     *,
     max_rounds: int = 1_000_000,
     adversary: Adversary | None = None,
+    stopping: StoppingRule | Mapping | None = None,
     rng: int | np.random.Generator | None = None,
     batch: bool = True,
 ) -> EnsembleResult:
@@ -222,24 +279,31 @@ def run_ensemble(
 
     With ``batch=True`` (default) all live replicas advance together
     through :meth:`Dynamics.step_many`; replicas drop out of the batch as
-    they absorb.  With ``batch=False`` each replica runs on its own spawned
-    stream — bit-identical to independent sequential runs, used in tests to
-    validate the batched path.
+    they absorb — or as the optional ``stopping`` rule fires for them,
+    with the firing rule recorded per replica in
+    ``EnsembleResult.stopped_by``.  With ``batch=False`` each replica runs
+    on its own spawned stream — bit-identical to independent sequential
+    runs, used in tests to validate the batched path.  A passed
+    :class:`numpy.random.Generator` spawns the per-replica streams from
+    its own seed sequence, so the unbatched path is reproducible for every
+    accepted ``rng`` type.
     """
     if replicas <= 0:
         raise ValueError("need at least one replica")
+    stopping = _resolve_stopping(stopping, None)
     state0, k = _prepare_state(dynamics, initial)
     n = int(state0.sum())
     plurality_color = int(np.argmax(state0[:k]))
 
     if not batch:
-        streams = spawn_streams(rng if isinstance(rng, (int, type(None))) else None, replicas)
+        streams = spawn_streams(rng, replicas)
         results = [
             run_process(
                 dynamics,
                 initial,
                 max_rounds=max_rounds,
                 adversary=adversary,
+                stopping=stopping,
                 rng=stream,
             )
             for stream in streams
@@ -253,6 +317,7 @@ def run_ensemble(
             plurality_color=plurality_color,
             max_rounds=max_rounds,
             final_counts=np.stack([r.final_counts for r in results]),
+            stopped_by=np.array([r.stopped_by for r in results], dtype=object),
         )
 
     generator = make_rng(rng)
@@ -261,6 +326,7 @@ def run_ensemble(
     winners = np.full(replicas, -1, dtype=np.int64)
     converged = np.zeros(replicas, dtype=bool)
     final_counts = np.tile(state0[:k], (replicas, 1))
+    stopped_by = np.full(replicas, None, dtype=object)
 
     def absorb(live_idx: np.ndarray, live_states: np.ndarray, t: int) -> np.ndarray:
         colored = live_states[:, :k]
@@ -271,6 +337,7 @@ def run_ensemble(
             rounds[idx] = t
             winners[idx] = np.argmax(colored[mono], axis=1)
             final_counts[idx] = colored[mono]
+            stopped_by[idx] = _MONO
         return ~mono
 
     live_idx = np.arange(replicas)
@@ -288,9 +355,20 @@ def run_ensemble(
         if not np.all(alive):
             live_idx = live_idx[alive]
             states = states[alive]
+        if stopping is not None and live_idx.size:
+            fired = stopping.fired_many(states[:, :k], n, t)
+            hit = ~np.equal(fired, None)
+            if np.any(hit):
+                idx = live_idx[hit]
+                rounds[idx] = t
+                final_counts[idx] = states[hit, :k]
+                stopped_by[idx] = fired[hit]
+                live_idx = live_idx[~hit]
+                states = states[~hit]
 
     if live_idx.size:
         final_counts[live_idx] = states[:, :k]
+    stopped_by[np.equal(stopped_by, None)] = BUDGET_EXHAUSTED
 
     return EnsembleResult(
         rounds=rounds,
@@ -299,4 +377,5 @@ def run_ensemble(
         plurality_color=plurality_color,
         max_rounds=max_rounds,
         final_counts=final_counts,
+        stopped_by=stopped_by,
     )

@@ -35,15 +35,28 @@ def make_rng(seed: int | np.random.Generator | np.random.SeedSequence | None = N
     return np.random.default_rng(seed)
 
 
-def spawn_streams(seed: int | np.random.SeedSequence | None, n: int) -> list[np.random.Generator]:
+def spawn_streams(
+    seed: int | np.random.Generator | np.random.SeedSequence | None, n: int
+) -> list[np.random.Generator]:
     """Spawn ``n`` independent generators from a single root seed.
 
     The children are derived through ``SeedSequence.spawn`` so they are
     independent of each other *and* of the parent stream; spawning the same
-    root twice yields identical children.
+    root twice yields identical children.  An existing
+    :class:`~numpy.random.Generator` spawns children from its own seed
+    sequence (advancing its spawn counter), so threading one generator
+    through a pipeline stays deterministic end to end.
     """
     if n < 0:
         raise ValueError(f"cannot spawn {n} streams")
+    if isinstance(seed, np.random.Generator):
+        try:
+            return list(seed.spawn(n))
+        except AttributeError as exc:  # pragma: no cover — numpy < 1.25
+            raise TypeError(
+                "spawning child streams from a Generator needs numpy >= 1.25; "
+                "pass an int seed or a SeedSequence instead"
+            ) from exc
     root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(n)]
 

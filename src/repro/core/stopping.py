@@ -1,0 +1,259 @@
+"""Composable stopping rules for the process runners.
+
+A :class:`StoppingRule` decides when a trajectory may halt *before* the
+natural absorbing state (a monochromatic configuration) is reached, and —
+just as importantly — records *which* criterion fired, surfaced as
+``ProcessResult.stopped_by`` / ``EnsembleResult.stopped_by``.  Rules are
+checked after every round on the color counts only (for dynamics with
+extra state, e.g. undecided-state, the undecided slot is excluded from the
+counts but included in ``n``), and never consume randomness, so adding a
+rule cannot perturb a trajectory — only truncate it.
+
+Built-in rules (registry names in :data:`repro.core.registry.STOPPING`):
+
+* ``monochromatic`` — some color holds all ``n`` agents (the runner always
+  applies this as the absorbing condition; registering it makes the
+  default expressible in a scenario file);
+* ``plurality-fraction`` — the top color holds at least ``fraction · n``
+  agents (successor of the deprecated ``stop_at_plurality_fraction=``
+  flag of :func:`repro.core.process.run_process`);
+* ``bias-threshold`` — the additive bias ``s(c) = c_(1) - c_(2)`` reaches
+  ``threshold``;
+* ``round-budget`` — ``rounds`` rounds have elapsed (a *soft* budget that
+  marks the replica as rule-stopped; a hard ``max_rounds`` expiry is
+  labelled ``"max-rounds"`` instead);
+* ``any-of`` — fires when any member rule fires, reporting the first
+  member (in order) that did.
+
+Serialization: ``rule.to_dict()`` ↔ :func:`stopping_from_dict` round-trip
+through plain JSON-able dicts of the shape ``{"rule": <name>, **params}``.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .registry import STOPPING
+
+__all__ = [
+    "StoppingRule",
+    "MonochromaticStop",
+    "PluralityFractionStop",
+    "BiasThresholdStop",
+    "RoundBudgetStop",
+    "AnyOfStop",
+    "stopping_from_dict",
+]
+
+#: ``stopped_by`` label used by the runners when the hard round budget
+#: (``max_rounds``) expires without convergence or a rule firing — distinct
+#: from the soft ``"round-budget"`` *rule* label, so the two cases stay
+#: distinguishable in ``stop_reasons()``.
+BUDGET_EXHAUSTED = "max-rounds"
+
+
+class StoppingRule(abc.ABC):
+    """Base class: a pure predicate over (color counts, n, round index)."""
+
+    #: Registry name; also the label recorded in ``stopped_by``.
+    rule: str = "stopping-rule"
+
+    @abc.abstractmethod
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        """True iff the rule fires on this configuration at round ``t``."""
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        """Vectorized :meth:`met` over an ``(R, k)`` batch of counts.
+
+        Every built-in rule overrides this with a loop-free version; the
+        default exists so third-party rules only need :meth:`met`.
+        """
+        return np.fromiter(
+            (self.met(row, n, t) for row in counts), dtype=bool, count=counts.shape[0]
+        )
+
+    def fired(self, counts: np.ndarray, n: int, t: int) -> str | None:
+        """Name of the (sub-)rule that fired, or None."""
+        return self.rule if self.met(counts, n, t) else None
+
+    def fired_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        """Per-replica fired-rule names (object array of str | None)."""
+        out = np.full(counts.shape[0], None, dtype=object)
+        out[self.met_many(counts, n, t)] = self.rule
+        return out
+
+    def params(self) -> dict[str, object]:
+        """JSON-able constructor parameters (inverse of the registry factory)."""
+        return {}
+
+    def to_dict(self) -> dict[str, object]:
+        return {"rule": self.rule, **self.params()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StoppingRule):
+            return NotImplemented
+        return type(self) is type(other) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(repr(sorted(self.to_dict().items(), key=lambda kv: kv[0])))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value!r}" for key, value in self.params().items())
+        return f"{type(self).__name__}({inner})"
+
+
+@STOPPING.register("monochromatic")
+class MonochromaticStop(StoppingRule):
+    """Stop when one color holds every agent (the absorbing state)."""
+
+    rule = "monochromatic"
+
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        return bool(np.max(counts) == n)
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        return counts.max(axis=1) == n
+
+
+@STOPPING.register("plurality-fraction")
+class PluralityFractionStop(StoppingRule):
+    """Stop once the top color holds at least ``fraction`` of all agents."""
+
+    rule = "plurality-fraction"
+
+    def __init__(self, fraction: float):
+        fraction = float(fraction)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        return bool(np.max(counts) >= self.fraction * n)
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        return counts.max(axis=1) >= self.fraction * n
+
+    def params(self) -> dict[str, object]:
+        return {"fraction": self.fraction}
+
+
+@STOPPING.register("bias-threshold")
+class BiasThresholdStop(StoppingRule):
+    """Stop once the additive bias ``s(c) = c_(1) - c_(2)`` reaches ``threshold``."""
+
+    rule = "bias-threshold"
+
+    def __init__(self, threshold: int):
+        threshold = int(threshold)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+
+    @staticmethod
+    def _bias_many(counts: np.ndarray) -> np.ndarray:
+        if counts.shape[1] == 1:
+            return counts[:, 0]
+        top2 = np.partition(counts, counts.shape[1] - 2, axis=1)[:, -2:]
+        return top2[:, 1] - top2[:, 0]
+
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        return bool(self._bias_many(np.asarray(counts)[None, :])[0] >= self.threshold)
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        return self._bias_many(counts) >= self.threshold
+
+    def params(self) -> dict[str, object]:
+        return {"threshold": self.threshold}
+
+
+@STOPPING.register("round-budget")
+class RoundBudgetStop(StoppingRule):
+    """Stop after ``rounds`` rounds (a soft budget, recorded as this rule)."""
+
+    rule = "round-budget"
+
+    def __init__(self, rounds: int):
+        rounds = int(rounds)
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        self.rounds = rounds
+
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        return t >= self.rounds
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        return np.full(counts.shape[0], t >= self.rounds, dtype=bool)
+
+    def params(self) -> dict[str, object]:
+        return {"rounds": self.rounds}
+
+
+@STOPPING.register("any-of")
+class AnyOfStop(StoppingRule):
+    """Fire when any member rule fires; report the first member that did."""
+
+    rule = "any-of"
+
+    def __init__(self, rules: Sequence[StoppingRule | Mapping]):
+        members: list[StoppingRule] = []
+        for member in rules:
+            if isinstance(member, Mapping):
+                member = stopping_from_dict(member)
+            if not isinstance(member, StoppingRule):
+                raise ValueError(f"any-of members must be stopping rules, got {member!r}")
+            members.append(member)
+        if not members:
+            raise ValueError("any-of needs at least one member rule")
+        self.rules = tuple(members)
+
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        return any(rule.met(counts, n, t) for rule in self.rules)
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        out = np.zeros(counts.shape[0], dtype=bool)
+        for rule in self.rules:
+            out |= rule.met_many(counts, n, t)
+        return out
+
+    def fired(self, counts: np.ndarray, n: int, t: int) -> str | None:
+        for rule in self.rules:
+            name = rule.fired(counts, n, t)
+            if name is not None:
+                return name
+        return None
+
+    def fired_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        out = np.full(counts.shape[0], None, dtype=object)
+        unset = np.ones(counts.shape[0], dtype=bool)
+        for rule in self.rules:
+            if not unset.any():
+                break
+            names = rule.fired_many(counts, n, t)
+            hit = unset & ~np.equal(names, None)
+            out[hit] = names[hit]
+            unset &= ~hit
+        return out
+
+    def params(self) -> dict[str, object]:
+        return {"rules": [rule.to_dict() for rule in self.rules]}
+
+
+def stopping_from_dict(data: Mapping) -> StoppingRule:
+    """Build a stopping rule from its ``{"rule": <name>, **params}`` dict.
+
+    Strict inverse of :meth:`StoppingRule.to_dict`: the ``rule`` key is
+    required, the name must be registered, and unknown parameters are
+    rejected by the registry's signature validation.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"stopping rule must be a mapping, got {type(data).__name__}")
+    payload = dict(data)
+    name = payload.pop("rule", None)
+    if not isinstance(name, str):
+        raise ValueError("stopping rule dict needs a string 'rule' key")
+    built = STOPPING.build(name, **payload)
+    assert isinstance(built, StoppingRule)
+    return built

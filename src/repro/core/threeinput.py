@@ -65,10 +65,12 @@ from collections.abc import Mapping
 import numpy as np
 
 from .dynamics import CountsDynamics, Dynamics, validate_engine
+from .registry import DYNAMICS
 from .samplers import categorical_matrix
 
 __all__ = [
     "ThreeInputRule",
+    "three_input_rule",
     "PAIR_PATTERNS",
     "DISTINCT_PATTERNS",
     "majority_rule",
@@ -345,6 +347,7 @@ class ThreeInputRule(CountsDynamics):
 # -- built-in rules ---------------------------------------------------------
 
 
+@DYNAMICS.register("majority-rule")
 def majority_rule() -> ThreeInputRule:
     """3-majority with the paper's 'first sample' tie-break on distinct triples."""
     return ThreeInputRule(
@@ -354,6 +357,7 @@ def majority_rule() -> ThreeInputRule:
     )
 
 
+@DYNAMICS.register("majority-uniform-rule")
 def majority_uniform_rule() -> ThreeInputRule:
     """3-majority with uniform tie-break on distinct triples."""
     return ThreeInputRule(
@@ -363,6 +367,7 @@ def majority_uniform_rule() -> ThreeInputRule:
     )
 
 
+@DYNAMICS.register("median-rule")
 def median_rule() -> ThreeInputRule:
     """Doerr et al.'s median as a member of D3: clear-majority, δ=(0,6,0)."""
     return ThreeInputRule(
@@ -372,6 +377,7 @@ def median_rule() -> ThreeInputRule:
     )
 
 
+@DYNAMICS.register("min-rule")
 def min_rule() -> ThreeInputRule:
     """Always adopt the smallest color index: δ=(6,0,0), no clear majority."""
     return ThreeInputRule(
@@ -381,6 +387,7 @@ def min_rule() -> ThreeInputRule:
     )
 
 
+@DYNAMICS.register("max-rule")
 def max_rule() -> ThreeInputRule:
     """Always adopt the largest color index: δ=(0,0,6), no clear majority."""
     return ThreeInputRule(
@@ -390,6 +397,7 @@ def max_rule() -> ThreeInputRule:
     )
 
 
+@DYNAMICS.register("first-rule")
 def first_rule() -> ThreeInputRule:
     """``f(x1,x2,x3) = x1``: the voter model inside D3.
 
@@ -404,6 +412,7 @@ def first_rule() -> ThreeInputRule:
     )
 
 
+@DYNAMICS.register("skewed-rule")
 def skewed_rule(delta: tuple[int, int, int] = (1, 3, 2)) -> ThreeInputRule:
     """A clear-majority rule with prescribed non-uniform δ-counters.
 
@@ -449,3 +458,28 @@ def all_position_rules() -> list[ThreeInputRule]:
         )
         rules.append(rule)
     return rules
+
+
+@DYNAMICS.register("three-input-rule")
+def three_input_rule(
+    pair_choice: Mapping[str, str],
+    distinct_choice: Mapping[str, int] | str,
+    name: str = "3-input-rule",
+    engine: str = "auto",
+) -> ThreeInputRule:
+    """Arbitrary ``D3(k)`` member from JSON-friendly choice tables.
+
+    Same semantics as constructing :class:`ThreeInputRule` directly, but
+    the ``distinct_choice`` rank patterns are keyed by *strings* — e.g.
+    ``{"012": 0, "021": 2, ...}`` instead of tuple keys — so the rule is
+    expressible in a scenario file.  ``"uniform"`` is accepted unchanged.
+    """
+    if isinstance(distinct_choice, Mapping):
+        converted: dict[tuple[int, int, int], int] = {}
+        for key, pos in distinct_choice.items():
+            pattern = tuple(int(ch) for ch in key) if isinstance(key, str) else tuple(key)
+            if len(pattern) != 3:
+                raise ValueError(f"distinct pattern key must have 3 ranks, got {key!r}")
+            converted[pattern] = pos  # type: ignore[index]
+        return ThreeInputRule(pair_choice, converted, name=name, engine=engine)
+    return ThreeInputRule(pair_choice, distinct_choice, name=name, engine=engine)

@@ -25,11 +25,13 @@ from __future__ import annotations
 import numpy as np
 
 from .dynamics import Dynamics
+from .registry import DYNAMICS
 from .samplers import multinomial_step
 
 __all__ = ["UndecidedState"]
 
 
+@DYNAMICS.register("undecided-state", summary="undecided-state protocol (SODA'15 comparison)")
 class UndecidedState(Dynamics):
     """Undecided-state plurality protocol (synchronous pull model)."""
 

@@ -16,10 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from .dynamics import CountsDynamics
+from .registry import DYNAMICS
 
 __all__ = ["Voter", "TwoChoices"]
 
 
+@DYNAMICS.register("voter", summary="1-sample polling baseline")
 class Voter(CountsDynamics):
     """Polling dynamics: adopt the color of one uniform sample."""
 
@@ -35,6 +37,7 @@ class Voter(CountsDynamics):
         return c / n
 
 
+@DYNAMICS.register("two-choices", summary="adopt a doubly-sampled color, else keep own")
 class TwoChoices(CountsDynamics):
     """Two-choices dynamics: adopt a doubly-sampled color, else keep own.
 

@@ -7,6 +7,7 @@ from .plotting import ascii_plot
 from .registry import ALL_EXPERIMENTS, experiment_ids, get_experiment
 from .results import ResultTable
 from .workloads import (
+    corollary3_start,
     geometric_tail,
     lemma8_start,
     lemma10_start,
@@ -14,6 +15,7 @@ from .workloads import (
     soda15_gap,
     theorem1_bias,
     theorem2_start,
+    theorem4_start,
 )
 
 __all__ = [
@@ -24,6 +26,7 @@ __all__ = [
     "SCALES",
     "SweepPoint",
     "ascii_plot",
+    "corollary3_start",
     "ensemble_at",
     "experiment_ids",
     "figure_ids",
@@ -39,4 +42,5 @@ __all__ = [
     "sweep",
     "theorem1_bias",
     "theorem2_start",
+    "theorem4_start",
 ]

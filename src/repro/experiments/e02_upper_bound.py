@@ -28,7 +28,7 @@ import math
 
 from ..analysis.bounds import lambda_for, theorem1_rounds
 from ..analysis.fitting import linear_fit_through_predictor, power_law_fit
-from ..core.majority import ThreeMajority
+from ..scenario import ScenarioSpec
 from .harness import ExperimentSpec, sweep
 from .results import ResultTable
 from .workloads import paper_biased
@@ -72,10 +72,15 @@ def run(scale: str, seed: int) -> ResultTable:
             "ratio",
         ],
     )
-    dyn = ThreeMajority()
-
     def build(params):
-        return dyn, paper_biased(params["n"], params["k"])
+        # Declarative build: the sweep resolves the names through the
+        # registries and overrides replicas/max_rounds/seed itself.
+        return ScenarioSpec(
+            dynamics="3-majority",
+            initial="paper-biased",
+            n=params["n"],
+            k=params["k"],
+        )
 
     # Sweep 1: k at fixed n.
     points_k = [{"n": cfg["n_fixed"], "k": k, "sweep": "k"} for k in cfg["ks"]]

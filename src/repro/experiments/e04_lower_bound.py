@@ -78,7 +78,6 @@ def run(scale: str, seed: int) -> ResultTable:
                 config,
                 max_rounds=cfg["max_rounds"],
                 rng=rng,
-                stop_at_plurality_fraction=None,
             )
             consensus.append(res.rounds if res.converged else cfg["max_rounds"])
             target = 2 * n / k

@@ -25,25 +25,18 @@ import numpy as np
 
 from ..analysis.bounds import theorem4_lower_rounds
 from ..analysis.fitting import power_law_fit
-from ..core.config import Configuration
 from ..core.majority import HPlurality
 from ..core.process import run_process
 from ..core.rng import derive_seed
 from .harness import ExperimentSpec
 from .results import ResultTable
+from .workloads import theorem4_start
 
 _SCALE = {
     "smoke": dict(n=4_000, k=16, hs=[3, 5, 8], replicas=4, max_rounds=4_000),
     "small": dict(n=20_000, k=32, hs=[3, 4, 6, 8, 12, 16], replicas=8, max_rounds=20_000),
     "paper": dict(n=100_000, k=64, hs=[3, 4, 6, 8, 12, 16, 24, 32], replicas=16, max_rounds=100_000),
 }
-
-
-def theorem4_start(n: int, k: int) -> Configuration:
-    """Balanced start with max count at 3n/(2k) (the theorem's ceiling)."""
-    top = int(3 * n / (2 * k))
-    rest = Configuration.balanced(n - top, k - 1).counts
-    return Configuration(np.concatenate([[top], rest]))
 
 
 def run(scale: str, seed: int) -> ResultTable:

@@ -10,7 +10,13 @@ single code path honest at three budgets:
 
 :func:`sweep` is the shared inner loop: a cartesian or explicit list of
 parameter points, each measured over a replica ensemble with an
-independent derived seed, returning per-point summaries.
+independent derived seed, returning per-point summaries.  A point's
+``build`` callable may return either the classic ``(dynamics, initial)``
+pair or a declarative :class:`~repro.scenario.ScenarioSpec` — specs are
+resolved through the registries and run via
+:func:`~repro.scenario.simulate_ensemble`, with the sweep's
+``replicas``/``max_rounds``/derived-seed discipline overriding the
+spec's own run knobs so scale presets stay authoritative.
 """
 
 from __future__ import annotations
@@ -25,10 +31,19 @@ from ..core.adversary import Adversary
 from ..core.config import Configuration
 from ..core.dynamics import Dynamics
 from ..core.process import EnsembleResult, run_ensemble
-from ..core.rng import derive_seed
+from ..core.rng import derive_seed, make_rng
+from ..scenario import ScenarioSpec, simulate_ensemble
 from .results import ResultTable
 
-__all__ = ["SCALES", "ExperimentSpec", "SweepPoint", "sweep", "ensemble_at", "grid"]
+__all__ = [
+    "SCALES",
+    "ExperimentSpec",
+    "SweepPoint",
+    "sweep",
+    "ensemble_at",
+    "grid",
+    "run_sweep_point",
+]
 
 #: Recognised scale presets, ordered by budget.
 SCALES = ("smoke", "small", "paper")
@@ -69,7 +84,7 @@ def ensemble_at(
     adversary: Adversary | None = None,
 ) -> EnsembleResult:
     """Run one replica ensemble on its own derived stream."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     return run_ensemble(
         dynamics,
         initial,
@@ -80,9 +95,41 @@ def ensemble_at(
     )
 
 
+def run_sweep_point(
+    built: ScenarioSpec | tuple[Dynamics, Configuration],
+    *,
+    replicas: int,
+    max_rounds: int,
+    stream_seed,
+    adversary: Adversary | None = None,
+) -> EnsembleResult:
+    """Measure one built sweep point (spec or classic pair) on one stream.
+
+    Shared by the sequential and multiprocess sweeps so both accept the
+    same two ``build`` contracts and stay result-identical.
+    """
+    if isinstance(built, ScenarioSpec):
+        if adversary is not None:
+            raise ValueError(
+                "adversary_for cannot be combined with ScenarioSpec builds; "
+                "declare the adversary inside the spec"
+            )
+        spec = built.with_overrides(replicas=replicas, max_rounds=max_rounds)
+        return simulate_ensemble(spec, rng=make_rng(stream_seed))
+    dynamics, initial = built
+    return ensemble_at(
+        dynamics,
+        initial,
+        replicas=replicas,
+        max_rounds=max_rounds,
+        seed=stream_seed,
+        adversary=adversary,
+    )
+
+
 def sweep(
     points: Iterable[Mapping[str, object]],
-    build: Callable[[Mapping[str, object]], tuple[Dynamics, Configuration]],
+    build: Callable[[Mapping[str, object]], ScenarioSpec | tuple[Dynamics, Configuration]],
     *,
     replicas: int,
     max_rounds: int,
@@ -97,25 +144,27 @@ def sweep(
     points:
         The sweep grid: a sequence of parameter dicts.
     build:
-        Maps a parameter point to ``(dynamics, initial_configuration)``.
+        Maps a parameter point to ``(dynamics, initial_configuration)``
+        or to a :class:`~repro.scenario.ScenarioSpec` (whose
+        replicas/max_rounds/seed are overridden by the sweep's own).
     adversary_for:
-        Optional per-point adversary factory.
+        Optional per-point adversary factory (classic builds only; spec
+        builds carry their adversary in the spec).
     seed / experiment_id:
         Combined through :func:`~repro.core.rng.derive_seed` with the point
         index, so each point gets an independent, reproducible stream.
     """
     out: list[SweepPoint] = []
     for idx, params in enumerate(points):
-        dynamics, initial = build(params)
+        built = build(params)
         adversary = adversary_for(params) if adversary_for is not None else None
         stream_seed = derive_seed(seed, experiment_id, idx)
         start = time.perf_counter()
-        ens = ensemble_at(
-            dynamics,
-            initial,
+        ens = run_sweep_point(
+            built,
             replicas=replicas,
             max_rounds=max_rounds,
-            seed=stream_seed,
+            stream_seed=stream_seed,
             adversary=adversary,
         )
         out.append(

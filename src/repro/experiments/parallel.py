@@ -19,9 +19,8 @@ import multiprocessing as mp
 from collections.abc import Callable, Iterable, Mapping
 
 from ..core.adversary import Adversary
-from ..core.dynamics import Dynamics
 from ..core.rng import derive_seed
-from .harness import SweepPoint, ensemble_at
+from .harness import SweepPoint, run_sweep_point
 
 __all__ = ["parallel_sweep"]
 
@@ -30,16 +29,15 @@ def _run_point(task) -> tuple[int, SweepPoint]:
     (idx, params, build, adversary_for, replicas, max_rounds, seed, experiment_id) = task
     import time
 
-    dynamics, initial = build(params)
+    built = build(params)
     adversary = adversary_for(params) if adversary_for is not None else None
     stream_seed = derive_seed(seed, experiment_id, idx)
     start = time.perf_counter()
-    ens = ensemble_at(
-        dynamics,
-        initial,
+    ens = run_sweep_point(
+        built,
         replicas=replicas,
         max_rounds=max_rounds,
-        seed=stream_seed,
+        stream_seed=stream_seed,
         adversary=adversary,
     )
     return idx, SweepPoint(
@@ -49,7 +47,7 @@ def _run_point(task) -> tuple[int, SweepPoint]:
 
 def parallel_sweep(
     points: Iterable[Mapping[str, object]],
-    build: Callable[[Mapping[str, object]], tuple[Dynamics, object]],
+    build: Callable[[Mapping[str, object]], object],  # ScenarioSpec | (Dynamics, Configuration)
     *,
     replicas: int,
     max_rounds: int,

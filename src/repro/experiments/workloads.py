@@ -5,6 +5,8 @@ lemma of the paper quantifies over:
 
 * :func:`paper_biased` — the canonical ``s``-biased start of Theorem 1;
 * :func:`theorem2_start` — balanced up to ``(n/k)^(1-eps)`` (Theorem 2);
+* :func:`corollary3_start` — ``c1 = n/β`` plus Corollary 3's bias (E3);
+* :func:`theorem4_start` — balanced with max count 3n/(2k) (Theorem 4/E6);
 * :func:`lemma10_start` — ``(x+s, x, ..., x)`` with ``x=(n-s)/k``
   (Lemma 10's near-critical bias);
 * :func:`lemma8_start` — ``(n/3+s, n/3, n/3-s)`` (Lemma 8's 3-color
@@ -14,6 +16,14 @@ lemma of the paper quantifies over:
   exponentially faster than 3-majority (E9);
 * :func:`geometric_tail` — plurality plus geometrically decaying rivals,
   a realistic skewed workload for the examples.
+
+Every generator — plus thin adapters over the plain
+:class:`~repro.core.config.Configuration` factories (``balanced``,
+``biased``, ``monochromatic``, ``two-color``, ``random``) — is registered
+in :data:`repro.core.registry.WORKLOADS` under the kebab-case name shown
+by ``repro scenarios``, with the uniform signature
+``fn(n, k, **params) -> Configuration`` required by the declarative
+:class:`~repro.scenario.ScenarioSpec` API.
 """
 
 from __future__ import annotations
@@ -23,11 +33,15 @@ import math
 import numpy as np
 
 from ..core.config import Configuration
+from ..core.registry import WORKLOADS
+from ..core.rng import make_rng
 
 __all__ = [
     "paper_biased",
     "theorem1_bias",
     "theorem2_start",
+    "corollary3_start",
+    "theorem4_start",
     "lemma10_start",
     "lemma8_start",
     "soda15_gap",
@@ -48,11 +62,13 @@ def theorem1_bias(n: int, k: int, constant: float = 1.0) -> int:
     return max(1, min(s, n - n // k if k > 1 else n - 1))
 
 
+@WORKLOADS.register("paper-biased")
 def paper_biased(n: int, k: int, constant: float = 1.0) -> Configuration:
     """Theorem 1-style start: balanced rivals, bias from :func:`theorem1_bias`."""
     return Configuration.biased(n, k, theorem1_bias(n, k, constant))
 
 
+@WORKLOADS.register("theorem2")
 def theorem2_start(n: int, k: int, eps: float = 0.25) -> Configuration:
     """Theorem 2's near-balanced start: max color at ``n/k + (n/k)^(1-eps)``."""
     if k < 2:
@@ -62,6 +78,7 @@ def theorem2_start(n: int, k: int, eps: float = 0.25) -> Configuration:
     return Configuration.biased(n, k, imbalance)
 
 
+@WORKLOADS.register("lemma10")
 def lemma10_start(n: int, k: int, s: int | None = None) -> Configuration:
     """Lemma 10's configuration: ``c = (x + s, x, ..., x)``, ``x = (n-s)/k``.
 
@@ -88,6 +105,7 @@ def lemma8_start(n: int, s: int | None = None) -> Configuration:
     return Configuration(counts)
 
 
+@WORKLOADS.register("soda15-gap")
 def soda15_gap(n: int, k: int, heavy_colors: int = 2, heavy_fraction: float = 0.96) -> Configuration:
     """Low monochromatic-distance, low relative-bias configuration.
 
@@ -115,9 +133,78 @@ def soda15_gap(n: int, k: int, heavy_colors: int = 2, heavy_fraction: float = 0.
     return Configuration(np.concatenate([heavy, light]))
 
 
+@WORKLOADS.register("geometric-tail")
 def geometric_tail(n: int, k: int, ratio: float = 0.7) -> Configuration:
     """Plurality plus geometrically decaying rivals: ``c_j ∝ ratio^j``."""
     if not 0.0 < ratio < 1.0:
         raise ValueError("ratio must be in (0, 1)")
     weights = ratio ** np.arange(k, dtype=float)
     return Configuration.from_fractions(n, weights)
+
+
+@WORKLOADS.register("corollary3")
+def corollary3_start(n: int, k: int, beta: float = 3.0, constant: float = 1.0) -> Configuration:
+    """Corollary 3's start: ``c1 = n/β`` and bias ``c·sqrt(2 β n log n)``.
+
+    Rivals split the rest evenly; if the requested bias exceeds the gap to
+    the strongest rival, the plurality is topped up until it holds.
+    """
+    c1 = int(n / beta)
+    s = int(constant * math.sqrt(2.0 * beta * n * math.log(n)))
+    rivals = Configuration.balanced(n - c1, k - 1).counts
+    top_rival = int(rivals.max())
+    if c1 - top_rival < s:
+        deficit = s - (c1 - top_rival)
+        c1 += deficit
+        rivals = Configuration.balanced(n - c1, k - 1).counts
+    return Configuration(np.concatenate([[c1], rivals]))
+
+
+@WORKLOADS.register("theorem4")
+def theorem4_start(n: int, k: int) -> Configuration:
+    """Theorem 4's balanced start with the max count at ``3n/(2k)``."""
+    top = int(3 * n / (2 * k))
+    rest = Configuration.balanced(n - top, k - 1).counts
+    return Configuration(np.concatenate([[top], rest]))
+
+
+# -- registry adapters -------------------------------------------------------
+#
+# Thin wrappers giving Configuration factories (and the k-fixed lemma-8
+# family) the uniform ``fn(n, k, **params)`` workload signature.
+
+
+@WORKLOADS.register("lemma8", summary="Lemma 8's 3-color start (n/3+s, n/3, n/3-s)")
+def _lemma8_workload(n: int, k: int, s: int | None = None) -> Configuration:
+    if k != 3:
+        raise ValueError(f"the lemma8 workload is defined for k = 3, got k={k}")
+    return lemma8_start(n, s)
+
+
+@WORKLOADS.register("balanced", summary="as even a split of n agents over k colors as possible")
+def _balanced_workload(n: int, k: int) -> Configuration:
+    return Configuration.balanced(n, k)
+
+
+@WORKLOADS.register("biased", summary="balanced rivals plus an explicit additive bias")
+def _biased_workload(n: int, k: int, bias: int, plurality: int = 0) -> Configuration:
+    return Configuration.biased(n, k, bias, plurality)
+
+
+@WORKLOADS.register("monochromatic", summary="all n agents on one color")
+def _monochromatic_workload(n: int, k: int, color: int = 0) -> Configuration:
+    return Configuration.monochromatic(n, k, color)
+
+
+@WORKLOADS.register("two-color", summary="binary configuration by fraction or additive bias")
+def _two_color_workload(
+    n: int, k: int, majority_fraction: float = 0.5, bias: int | None = None
+) -> Configuration:
+    if k != 2:
+        raise ValueError(f"the two-color workload is defined for k = 2, got k={k}")
+    return Configuration.two_color(n, majority_fraction, bias)
+
+
+@WORKLOADS.register("random", summary="uniform multinomial split from a dedicated seed")
+def _random_workload(n: int, k: int, seed: int = 0) -> Configuration:
+    return Configuration.random(n, k, make_rng(seed))

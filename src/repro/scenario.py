@@ -1,0 +1,305 @@
+"""Declarative scenarios: serializable specs + the ``simulate()`` facade.
+
+Every claim of the paper quantifies over a *scenario*: a dynamics from the
+h-dynamics family, an initial-configuration family, an optional F-bounded
+adversary and a success/stopping predicate.  This module makes scenarios
+*data* instead of hand-written object construction:
+
+>>> from repro import ScenarioSpec, simulate_ensemble
+>>> spec = ScenarioSpec(
+...     dynamics="3-majority",
+...     initial="paper-biased",
+...     n=100_000,
+...     k=8,
+...     replicas=32,
+...     seed=0,
+... )
+>>> ens = simulate_ensemble(spec)          # doctest: +SKIP
+>>> spec == ScenarioSpec.from_json(spec.to_json())
+True
+
+Names are resolved through the string-keyed registries of
+:mod:`repro.core.registry` (``repro scenarios`` lists them), parameters
+are validated strictly against the target factory's signature, and
+``to_dict``/``from_dict``/``to_json``/``from_json`` round-trip losslessly
+— which is what makes scenarios shardable, cacheable and servable.  The
+:func:`simulate` / :func:`simulate_ensemble` facades resolve a spec and
+dispatch straight to :func:`repro.core.process.run_process` /
+:func:`~repro.core.process.run_ensemble`, so at equal seed they reproduce
+the direct Python API bit for bit (asserted in the tests, with the
+dispatch overhead guarded in the benchmark suite).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+import numpy as np
+
+from .core.adversary import Adversary
+from .core.config import Configuration
+from .core.dynamics import Dynamics
+from .core.process import EnsembleResult, ProcessResult, run_ensemble, run_process
+from .core.registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS
+from .core.stopping import StoppingRule, stopping_from_dict
+
+__all__ = ["ScenarioSpec", "ResolvedScenario", "simulate", "simulate_ensemble"]
+
+_registered = False
+
+
+def _ensure_registered() -> None:
+    """Import the modules whose decorators populate the registries.
+
+    The dynamics/adversary/stopping registrations ride on ``repro.core``
+    (already imported above); the workload generators live one layer up in
+    :mod:`repro.experiments.workloads`, imported lazily here to keep
+    ``repro.core`` free of an upward dependency.
+    """
+    global _registered
+    if not _registered:
+        from .experiments import workloads  # noqa: F401 — import registers WORKLOADS
+
+        _registered = True
+
+
+def _checked_params(name: str, value: object) -> dict[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ValueError(f"{name} must be a mapping of parameter names, got {value!r}")
+    if not all(isinstance(key, str) for key in value):
+        raise ValueError(f"{name} keys must be strings")
+    return dict(value)
+
+
+def _checked_int(name: str, value: object, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ResolvedScenario:
+    """A spec's names resolved to live objects, ready for the runners."""
+
+    dynamics: Dynamics
+    initial: Configuration
+    adversary: Adversary | None
+    stopping: StoppingRule | None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable simulation scenario.
+
+    All object references are registry *names* (see ``repro scenarios``)
+    plus nested parameter dicts, so a spec is plain data: JSON round-trips
+    are lossless and strict (unknown keys, unknown names and invalid
+    parameters are rejected with messages naming the accepted values).
+
+    ``stopping`` is the serialized ``{"rule": <name>, **params}`` form of
+    a :class:`~repro.core.stopping.StoppingRule`; passing a rule instance
+    normalises it to that dict.  ``seed`` is the default stream for the
+    :func:`simulate` facades (overridable per call).
+    """
+
+    dynamics: str
+    n: int
+    k: int
+    initial: str = "balanced"
+    dynamics_params: dict[str, Any] = field(default_factory=dict)
+    initial_params: dict[str, Any] = field(default_factory=dict)
+    adversary: str | None = None
+    adversary_params: dict[str, Any] = field(default_factory=dict)
+    stopping: dict[str, Any] | None = None
+    replicas: int = 1
+    max_rounds: int = 1_000_000
+    seed: int | None = 0
+
+    def __post_init__(self):
+        if not isinstance(self.dynamics, str) or not self.dynamics:
+            raise ValueError(f"dynamics must be a registry name, got {self.dynamics!r}")
+        if not isinstance(self.initial, str) or not self.initial:
+            raise ValueError(f"initial must be a registry name, got {self.initial!r}")
+        if self.adversary is not None and not isinstance(self.adversary, str):
+            raise ValueError(f"adversary must be a registry name or None, got {self.adversary!r}")
+        object.__setattr__(self, "n", _checked_int("n", self.n, 1))
+        object.__setattr__(self, "k", _checked_int("k", self.k, 1))
+        object.__setattr__(self, "replicas", _checked_int("replicas", self.replicas, 1))
+        object.__setattr__(self, "max_rounds", _checked_int("max_rounds", self.max_rounds, 0))
+        for name in ("dynamics_params", "initial_params", "adversary_params"):
+            object.__setattr__(self, name, _checked_params(name, getattr(self, name)))
+        stopping = self.stopping
+        if isinstance(stopping, StoppingRule):
+            stopping = stopping.to_dict()
+        if stopping is not None:
+            stopping = dict(_checked_params("stopping", stopping))
+            if not isinstance(stopping.get("rule"), str):
+                raise ValueError("stopping dict needs a string 'rule' key")
+        object.__setattr__(self, "stopping", stopping)
+        if self.seed is not None:
+            if isinstance(self.seed, bool) or not isinstance(self.seed, (int, np.integer)):
+                raise ValueError(f"seed must be an int or None, got {self.seed!r}")
+            object.__setattr__(self, "seed", int(self.seed))
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the dict
+        # fields; canonical (sorted-key, compact) JSON is the stable
+        # identity — the same string a cache/shard layer would key on.
+        return hash(self.to_json(indent=None))
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-able dict holding every field (lossless)."""
+        out: dict[str, Any] = {
+            "dynamics": self.dynamics,
+            "n": self.n,
+            "k": self.k,
+            "initial": self.initial,
+            "dynamics_params": dict(self.dynamics_params),
+            "initial_params": dict(self.initial_params),
+            "adversary": self.adversary,
+            "adversary_params": dict(self.adversary_params),
+            "stopping": json.loads(json.dumps(self.stopping)) if self.stopping else None,
+            "replicas": self.replicas,
+            "max_rounds": self.max_rounds,
+            "seed": self.seed,
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Strict inverse of :meth:`to_dict`: unknown keys are rejected."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"scenario must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        missing = sorted({"dynamics", "n", "k"} - set(data))
+        if missing:
+            raise ValueError(f"scenario is missing required keys: {', '.join(missing)}")
+        return cls(**dict(data))
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"scenario JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path) -> "ScenarioSpec":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self) -> ResolvedScenario:
+        """Resolve all names through the registries into live objects."""
+        _ensure_registered()
+        dynamics = DYNAMICS.build(self.dynamics, **self.dynamics_params)
+        if not isinstance(dynamics, Dynamics):
+            raise TypeError(f"dynamics {self.dynamics!r} did not build a Dynamics")
+        initial = WORKLOADS.build(self.initial, self.n, self.k, **self.initial_params)
+        if not isinstance(initial, Configuration):
+            raise TypeError(f"workload {self.initial!r} did not build a Configuration")
+        if initial.n != self.n or initial.k != self.k:
+            raise ValueError(
+                f"workload {self.initial!r} produced (n={initial.n}, k={initial.k}), "
+                f"expected (n={self.n}, k={self.k})"
+            )
+        adversary = None
+        if self.adversary is not None:
+            adversary = ADVERSARIES.build(self.adversary, **self.adversary_params)
+            if not isinstance(adversary, Adversary):
+                raise TypeError(f"adversary {self.adversary!r} did not build an Adversary")
+        stopping = stopping_from_dict(self.stopping) if self.stopping is not None else None
+        return ResolvedScenario(
+            dynamics=dynamics, initial=initial, adversary=adversary, stopping=stopping
+        )
+
+    def validate(self) -> "ScenarioSpec":
+        """Check every name and parameter by resolving once; returns self."""
+        self.resolve()
+        return self
+
+    @staticmethod
+    def registries() -> dict[str, list[str]]:
+        """Registered names per component kind (what ``repro scenarios`` shows)."""
+        _ensure_registered()
+        return {
+            "dynamics": DYNAMICS.names(),
+            "workloads": WORKLOADS.names(),
+            "adversaries": ADVERSARIES.names(),
+            "stopping": STOPPING.names(),
+        }
+
+
+def simulate(
+    spec: ScenarioSpec,
+    *,
+    rng: int | np.random.Generator | None = None,
+    record_trajectory: bool = False,
+) -> ProcessResult:
+    """Run one trajectory of ``spec`` (seed from the spec unless ``rng`` given).
+
+    Thin facade over :func:`repro.core.process.run_process`: at equal seed
+    the result is bit-identical to building the objects by hand.
+    """
+    resolved = spec.resolve()
+    return run_process(
+        resolved.dynamics,
+        resolved.initial,
+        max_rounds=spec.max_rounds,
+        adversary=resolved.adversary,
+        stopping=resolved.stopping,
+        record_trajectory=record_trajectory,
+        rng=spec.seed if rng is None else rng,
+    )
+
+
+def simulate_ensemble(
+    spec: ScenarioSpec,
+    *,
+    rng: int | np.random.Generator | None = None,
+    batch: bool = True,
+) -> EnsembleResult:
+    """Run ``spec.replicas`` trajectories of ``spec`` through the batched kernels.
+
+    Thin facade over :func:`repro.core.process.run_ensemble`; the
+    ``replicas``/``max_rounds``/``seed`` knobs come from the spec, with
+    ``rng`` overriding the seed for callers that thread their own streams.
+    """
+    resolved = spec.resolve()
+    return run_ensemble(
+        resolved.dynamics,
+        resolved.initial,
+        spec.replicas,
+        max_rounds=spec.max_rounds,
+        adversary=resolved.adversary,
+        stopping=resolved.stopping,
+        rng=spec.seed if rng is None else rng,
+        batch=batch,
+    )

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import ScenarioSpec
 from repro.cli import build_parser, main
 
 
@@ -43,3 +46,97 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "E1" in out and "completed" in out
         assert (tmp_path / "e1_smoke.csv").exists()
+
+
+class TestScenarioCommands:
+    def test_scenarios_lists_registries(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("3-majority", "h-plurality", "paper-biased", "targeted", "any-of"):
+            assert name in out
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"dynamics", "workloads", "adversaries", "stopping"}
+        assert "3-majority" in data["dynamics"]
+
+    def test_simulate_inline(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dynamics", "3-majority",
+                    "--initial", "paper-biased",
+                    "--n", "5000",
+                    "--k", "3",
+                    "--replicas", "4",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plurality win rate" in out
+        assert "monochromatic" in out
+
+    def test_simulate_from_file_with_json_output(self, capsys, tmp_path):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="paper-biased", n=5_000, k=3, replicas=4, seed=0
+        )
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        assert main(["simulate", str(path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"] == spec.to_dict()
+        assert record["plurality_win_rate"] == 1.0
+        assert record["stop_reasons"] == {"monochromatic": 4}
+
+    def test_simulate_file_overrides(self, capsys, tmp_path):
+        spec = ScenarioSpec(dynamics="3-majority", initial="paper-biased", n=5_000, k=3)
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        assert main(["simulate", str(path), "--replicas", "2", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["replicas"] == 2
+
+    def test_simulate_file_plus_inline_names_clash(self, tmp_path):
+        spec = ScenarioSpec(dynamics="3-majority", n=100, k=2)
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["simulate", str(path), "--dynamics", "voter"])
+        with pytest.raises(SystemExit, match="--stopping cannot be combined"):
+            main(["simulate", str(path), "--stopping", '{"rule": "round-budget", "rounds": 5}'])
+
+    def test_simulate_inline_requires_core_fields(self):
+        with pytest.raises(SystemExit, match="--dynamics"):
+            main(["simulate", "--n", "100", "--k", "2"])
+
+    def test_simulate_rejects_bad_stopping_json(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--stopping", "not json"])
+
+    def test_simulate_save_spec(self, capsys, tmp_path):
+        out_path = tmp_path / "saved.json"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dynamics", "voter",
+                    "--n", "500",
+                    "--k", "2",
+                    "--initial", "two-color",
+                    "--initial-params", '{"bias": 100}',
+                    "--stopping", '{"rule": "round-budget", "rounds": 5}',
+                    "--max-rounds", "50",
+                    "--save-spec", str(out_path),
+                ]
+            )
+            == 0
+        )
+        saved = ScenarioSpec.from_file(out_path)
+        assert saved.dynamics == "voter"
+        assert saved.stopping == {"rule": "round-budget", "rounds": 5}
+        out = capsys.readouterr().out
+        assert "stopped by" in out

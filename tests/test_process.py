@@ -111,6 +111,20 @@ class TestRunEnsemble:
         assert ens.converged.all()
         assert ens.plurality_win_rate == 1.0
 
+    def test_batch_false_accepts_generator_deterministically(self):
+        # Regression: a passed Generator used to be silently discarded in
+        # favour of OS entropy.  Now it spawns the per-replica streams, so
+        # equal generator state gives equal results...
+        cfg = Configuration.biased(2_000, 3, 400)
+        a = run_ensemble(ThreeMajority(), cfg, 5, rng=np.random.default_rng(7), batch=False)
+        b = run_ensemble(ThreeMajority(), cfg, 5, rng=np.random.default_rng(7), batch=False)
+        assert np.array_equal(a.rounds, b.rounds)
+        assert np.array_equal(a.final_counts, b.final_counts)
+        # ...and matches the int-seed path (same root seed sequence).
+        c = run_ensemble(ThreeMajority(), cfg, 5, rng=7, batch=False)
+        assert np.array_equal(a.rounds, c.rounds)
+        assert np.array_equal(a.final_counts, c.final_counts)
+
     def test_batch_statistics_match_unbatched(self):
         cfg = Configuration.biased(5_000, 4, 700)
         fast = run_ensemble(ThreeMajority(), cfg, 64, rng=1, batch=True)

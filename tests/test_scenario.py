@@ -1,0 +1,345 @@
+"""Tests for the declarative scenario layer: registries, specs, facades."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    HPlurality,
+    ScenarioSpec,
+    TargetedAdversary,
+    ThreeMajority,
+    run_ensemble,
+    run_process,
+    simulate,
+    simulate_ensemble,
+)
+from repro.core.registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS, Registry
+from repro.experiments.harness import sweep
+from repro.experiments.workloads import paper_biased
+
+#: Example parameters making every registered dynamics buildable by name.
+DYNAMICS_EXAMPLES: dict[str, dict] = {
+    "2-sample-uniform": {},
+    "3-majority": {},
+    "first-rule": {},
+    "h-plurality": {"h": 4},
+    "majority-rule": {},
+    "majority-uniform-rule": {},
+    "max-rule": {},
+    "median": {},
+    "median-rule": {},
+    "min-rule": {},
+    "skewed-rule": {"delta": [1, 3, 2]},
+    "three-input-rule": {
+        "pair_choice": {"XXY": "major", "XYX": "major", "YXX": "major"},
+        "distinct_choice": "uniform",
+    },
+    "two-choices": {},
+    "undecided-state": {},
+    "voter": {},
+}
+
+#: Example parameters making every registered workload buildable at (n, k).
+WORKLOAD_EXAMPLES: dict[str, tuple[int, int, dict]] = {
+    "balanced": (600, 4, {}),
+    "biased": (600, 4, {"bias": 100}),
+    "corollary3": (6_000, 5, {"beta": 3.0}),
+    "geometric-tail": (600, 4, {"ratio": 0.6}),
+    "lemma10": (600, 4, {}),
+    "lemma8": (600, 3, {}),
+    "monochromatic": (600, 4, {"color": 1}),
+    "paper-biased": (600, 4, {}),
+    "random": (600, 4, {"seed": 5}),
+    "soda15-gap": (600, 6, {}),
+    "theorem2": (600, 4, {}),
+    "theorem4": (600, 4, {}),
+    "two-color": (600, 2, {"bias": 50}),
+}
+
+ADVERSARY_EXAMPLES: dict[str, dict] = {
+    "balancing": {"budget": 3},
+    "random": {"budget": 3},
+    "revive": {"budget": 3},
+    "targeted": {"budget": 3},
+}
+
+
+def _full_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        dynamics="h-plurality",
+        dynamics_params={"h": 4},
+        initial="geometric-tail",
+        initial_params={"ratio": 0.7},
+        n=5_000,
+        k=6,
+        adversary="targeted",
+        adversary_params={"budget": 5},
+        stopping={
+            "rule": "any-of",
+            "rules": [
+                {"rule": "plurality-fraction", "fraction": 0.9},
+                {"rule": "round-budget", "rounds": 400},
+            ],
+        },
+        replicas=12,
+        max_rounds=1_000,
+        seed=42,
+    )
+
+
+class TestRegistryMechanics:
+    def test_duplicate_names_rejected(self):
+        reg = Registry("thing")
+
+        @reg.register("x")
+        def make_x():
+            return 1
+
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x")(make_x)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="3-majority"):
+            DYNAMICS.get("3-mojority")
+
+    def test_bad_params_name_accepted_ones(self):
+        with pytest.raises(ValueError, match="h, engine"):
+            DYNAMICS.build("h-plurality", hh=4)
+
+    def test_every_dynamics_reachable_by_name(self):
+        assert set(DYNAMICS.names()) == set(DYNAMICS_EXAMPLES)
+        for name, params in DYNAMICS_EXAMPLES.items():
+            built = DYNAMICS.build(name, **params)
+            assert hasattr(built, "step"), name
+
+    def test_every_workload_reachable_by_name(self):
+        assert set(WORKLOADS.names()) == set(WORKLOAD_EXAMPLES)
+        for name, (n, k, params) in WORKLOAD_EXAMPLES.items():
+            cfg = WORKLOADS.build(name, n, k, **params)
+            assert isinstance(cfg, Configuration), name
+            assert cfg.n == n and cfg.k == k, name
+
+    def test_every_adversary_reachable_by_name(self):
+        assert set(ADVERSARIES.names()) == set(ADVERSARY_EXAMPLES)
+        for name, params in ADVERSARY_EXAMPLES.items():
+            built = ADVERSARIES.build(name, **params)
+            assert built.budget == 3, name
+
+    def test_stopping_registry_covers_rules(self):
+        assert set(STOPPING.names()) == {
+            "any-of",
+            "bias-threshold",
+            "monochromatic",
+            "plurality-fraction",
+            "round-budget",
+        }
+
+
+class TestSpecRoundTrip:
+    def test_dict_and_json_identity(self):
+        spec = _full_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        # Full chain: to_dict → from_dict → to_json → from_json.
+        chained = ScenarioSpec.from_json(ScenarioSpec.from_dict(spec.to_dict()).to_json())
+        assert chained == spec
+        assert chained.to_dict() == spec.to_dict()
+
+    def test_defaults_round_trip(self):
+        spec = ScenarioSpec(dynamics="voter", n=100, k=2)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = _full_spec()
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        assert ScenarioSpec.from_file(path) == spec
+
+    def test_stopping_rule_instance_normalised(self):
+        from repro import PluralityFractionStop
+
+        spec = ScenarioSpec(
+            dynamics="voter", n=100, k=2, stopping=PluralityFractionStop(0.8)
+        )
+        assert spec.stopping == {"rule": "plurality-fraction", "fraction": 0.8}
+
+    def test_specs_are_hashable_cache_keys(self):
+        a = _full_spec()
+        b = ScenarioSpec.from_json(a.to_json())
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert {a: "cached"}[b] == "cached"
+
+    def test_with_overrides_revalidates(self):
+        spec = _full_spec().with_overrides(replicas=3, seed=None)
+        assert spec.replicas == 3 and spec.seed is None
+        with pytest.raises(ValueError, match="replicas"):
+            _full_spec().with_overrides(replicas=0)
+
+
+class TestSpecValidation:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario keys: dynamcs"):
+            ScenarioSpec.from_dict({"dynamcs": "voter", "dynamics": "voter", "n": 10, "k": 2})
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing required keys: k, n"):
+            ScenarioSpec.from_dict({"dynamics": "voter"})
+
+    def test_bad_field_types_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            ScenarioSpec(dynamics="voter", n="many", k=2)
+        with pytest.raises(ValueError, match="dynamics_params"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, dynamics_params=[1, 2])
+        with pytest.raises(ValueError, match="'rule' key"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, stopping={"fraction": 0.5})
+        with pytest.raises(ValueError, match="seed"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, seed=1.5)
+
+    def test_unknown_names_rejected_at_resolve(self):
+        with pytest.raises(KeyError, match="unknown dynamics"):
+            ScenarioSpec(dynamics="4-majority", n=10, k=2).validate()
+        with pytest.raises(KeyError, match="unknown workload"):
+            ScenarioSpec(dynamics="voter", initial="nope", n=10, k=2).validate()
+        with pytest.raises(KeyError, match="unknown adversary"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, adversary="sneaky").validate()
+        with pytest.raises(KeyError, match="unknown stopping rule"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, stopping={"rule": "nope"}).validate()
+
+    def test_bad_params_rejected_at_resolve(self):
+        with pytest.raises(ValueError, match="invalid parameters for dynamics"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, dynamics_params={"h": 3}).validate()
+        with pytest.raises(ValueError, match="invalid parameters for workload"):
+            ScenarioSpec(
+                dynamics="voter", initial="biased", n=10, k=2, initial_params={"bais": 3}
+            ).validate()
+
+    def test_workload_shape_mismatch_rejected(self):
+        # lemma8 builds 3 colors; asking for k=4 must fail loudly.
+        with pytest.raises(ValueError, match="lemma8"):
+            ScenarioSpec(dynamics="voter", initial="lemma8", n=12, k=4).validate()
+
+
+class TestFacadeBitIdentity:
+    def test_simulate_matches_run_process(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="paper-biased", n=20_000, k=5, seed=11
+        )
+        facade = simulate(spec, record_trajectory=True)
+        direct = run_process(
+            ThreeMajority(), paper_biased(20_000, 5), rng=11, record_trajectory=True
+        )
+        assert facade.rounds == direct.rounds
+        assert facade.winner == direct.winner
+        assert np.array_equal(facade.trajectory, direct.trajectory)
+
+    def test_simulate_ensemble_matches_run_ensemble(self):
+        spec = ScenarioSpec(
+            dynamics="h-plurality",
+            dynamics_params={"h": 4},
+            initial="paper-biased",
+            n=10_000,
+            k=4,
+            replicas=8,
+            max_rounds=2_000,
+            seed=23,
+        )
+        facade = simulate_ensemble(spec)
+        direct = run_ensemble(
+            HPlurality(4), paper_biased(10_000, 4), 8, max_rounds=2_000, rng=23
+        )
+        assert np.array_equal(facade.rounds, direct.rounds)
+        assert np.array_equal(facade.winners, direct.winners)
+        assert np.array_equal(facade.final_counts, direct.final_counts)
+
+    def test_adversary_scenario_matches_direct(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority",
+            initial="paper-biased",
+            n=10_000,
+            k=4,
+            adversary="targeted",
+            adversary_params={"budget": 20},
+            replicas=6,
+            max_rounds=2_000,
+            seed=4,
+        )
+        facade = simulate_ensemble(spec)
+        direct = run_ensemble(
+            ThreeMajority(),
+            paper_biased(10_000, 4),
+            6,
+            max_rounds=2_000,
+            adversary=TargetedAdversary(20),
+            rng=4,
+        )
+        assert np.array_equal(facade.rounds, direct.rounds)
+        assert np.array_equal(facade.winners, direct.winners)
+
+    def test_rng_override_beats_spec_seed(self):
+        spec = ScenarioSpec(dynamics="3-majority", initial="paper-biased", n=5_000, k=3, seed=0)
+        a = simulate(spec, rng=99)
+        b = run_process(ThreeMajority(), paper_biased(5_000, 3), rng=99)
+        assert a.rounds == b.rounds
+
+
+class TestSweepSpecBuilds:
+    POINTS = [{"n": 4_000, "k": 3}, {"n": 6_000, "k": 4}]
+
+    def test_spec_build_matches_classic_build(self):
+        classic = sweep(
+            self.POINTS,
+            lambda p: (ThreeMajority(), paper_biased(p["n"], p["k"])),
+            replicas=4,
+            max_rounds=1_000,
+            seed=0,
+            experiment_id="TST",
+        )
+        declarative = sweep(
+            self.POINTS,
+            lambda p: ScenarioSpec(
+                dynamics="3-majority", initial="paper-biased", n=p["n"], k=p["k"]
+            ),
+            replicas=4,
+            max_rounds=1_000,
+            seed=0,
+            experiment_id="TST",
+        )
+        for a, b in zip(classic, declarative):
+            assert np.array_equal(a.ensemble.rounds, b.ensemble.rounds)
+            assert np.array_equal(a.ensemble.winners, b.ensemble.winners)
+
+    def test_spec_build_rejects_adversary_for(self):
+        with pytest.raises(ValueError, match="adversary_for"):
+            sweep(
+                self.POINTS[:1],
+                lambda p: ScenarioSpec(
+                    dynamics="3-majority", initial="paper-biased", n=p["n"], k=p["k"]
+                ),
+                replicas=2,
+                max_rounds=100,
+                seed=0,
+                experiment_id="TST",
+                adversary_for=lambda p: TargetedAdversary(1),
+            )
+
+
+class TestEveryDynamicsSimulates:
+    @pytest.mark.parametrize("name", sorted(DYNAMICS_EXAMPLES))
+    def test_scenario_runs_by_name(self, name):
+        spec = ScenarioSpec(
+            dynamics=name,
+            dynamics_params=DYNAMICS_EXAMPLES[name],
+            initial="biased",
+            initial_params={"bias": 60},
+            n=300,
+            k=3,
+            max_rounds=50,
+            seed=0,
+        )
+        res = simulate(spec)
+        assert res.stopped_by in ("monochromatic", "max-rounds")
+        assert int(res.final_counts.sum()) <= 300  # colored mass (undecided excluded)
