@@ -75,14 +75,16 @@ from .core import (
     three_majority_law,
 )
 from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
+from .serve import BatchReport, ResultCache, cache_key, run_batch
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ADVERSARIES",
     "Adversary",
     "AnyOfStop",
     "BalancingAdversary",
+    "BatchReport",
     "BiasThresholdStop",
     "Configuration",
     "CountsDynamics",
@@ -100,6 +102,7 @@ __all__ = [
     "ProcessResult",
     "RandomAdversary",
     "ResolvedScenario",
+    "ResultCache",
     "ReviveAdversary",
     "RoundBudgetStop",
     "STOPPING",
@@ -116,6 +119,7 @@ __all__ = [
     "Voter",
     "__version__",
     "all_position_rules",
+    "cache_key",
     "first_rule",
     "majority_rule",
     "majority_uniform_rule",
@@ -123,6 +127,7 @@ __all__ = [
     "max_rule",
     "median_rule",
     "min_rule",
+    "run_batch",
     "run_ensemble",
     "run_process",
     "simulate",

@@ -10,13 +10,18 @@ Usage (installed as ``repro`` or via ``python -m repro.cli``)::
     repro simulate scenario.json --json
     repro simulate --dynamics 3-majority --initial paper-biased \\
         --n 100000 --k 8 --replicas 32 --seed 0
+    repro batch specs.json --json
+    repro cache stats
+    repro cache clear
 
 Each run prints the experiment's ResultTable; ``--csv-dir`` additionally
 writes one CSV per experiment for downstream plotting.  ``simulate``
 executes one declarative :class:`~repro.scenario.ScenarioSpec` — from a
 JSON file or assembled from inline flags — and ``scenarios`` lists every
 registered dynamics/workload/adversary/stopping-rule name a spec may
-reference.
+reference.  ``batch`` pushes a JSON array of scenarios through the
+:mod:`repro.serve` substrate (content-addressed result cache + sharded
+executor); ``cache`` inspects or clears that cache.
 """
 
 from __future__ import annotations
@@ -95,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--json", action="store_true", help="emit machine-readable result JSON")
     sim.add_argument("--save-spec", default=None, help="also write the resolved spec JSON here")
+
+    batch = sub.add_parser(
+        "batch",
+        help="execute a JSON batch of scenarios through the cache + sharded executor",
+    )
+    batch.add_argument(
+        "specs",
+        help="JSON file: an array of scenario objects (or {\"scenarios\": [...]})",
+    )
+    batch.add_argument("--json", action="store_true", help="emit machine-readable result JSON")
+    batch.add_argument("--processes", type=int, default=None, help="pool width for cache misses")
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    batch.add_argument("--no-cache", action="store_true", help="execute without any result cache")
+
+    cache = sub.add_parser("cache", help="inspect or clear the scenario result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="show entry counts and sizes")
+    cache_stats.add_argument("--cache-dir", default=None)
+    cache_stats.add_argument("--json", action="store_true")
+    cache_clear = cache_sub.add_parser("clear", help="remove every cached result")
+    cache_clear.add_argument("--cache-dir", default=None)
+    cache_purge = cache_sub.add_parser(
+        "purge", help="remove only entries from other engine schema versions"
+    )
+    cache_purge.add_argument("--cache-dir", default=None)
     return parser
 
 
@@ -210,6 +244,100 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_cache(cache_dir: str | None):
+    from .serve.cache import ResultCache, default_cache_dir
+
+    return ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+
+
+def _finite_or_none(value: float) -> float | None:
+    """NaN/inf → None so ``--json`` output stays strict JSON."""
+    import math
+
+    return value if math.isfinite(value) else None
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .scenario import ScenarioSpec
+    from .serve.executor import run_batch
+
+    with open(args.specs, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "scenarios" in payload:
+        payload = payload["scenarios"]
+    if not isinstance(payload, list) or not payload:
+        raise SystemExit(
+            f"{args.specs} must hold a non-empty JSON array of scenario objects "
+            '(or {"scenarios": [...]})'
+        )
+    specs = [ScenarioSpec.from_dict(entry) for entry in payload]
+    cache = None if args.no_cache else _open_cache(args.cache_dir)
+    report = run_batch(specs, cache=cache, processes=args.processes)
+
+    items = []
+    for spec, result, key, source in zip(
+        specs, report.results, report.keys, report.sources
+    ):
+        items.append(
+            {
+                "key": key,
+                "source": source,
+                "dynamics": spec.dynamics,
+                "n": spec.n,
+                "k": spec.k,
+                "replicas": result.replicas,
+                "plurality_win_rate": _finite_or_none(result.plurality_win_rate),
+                "convergence_rate": _finite_or_none(result.convergence_rate),
+                "rounds": {
+                    name: _finite_or_none(value)
+                    for name, value in result.rounds_summary().items()
+                },
+                "stop_reasons": result.stop_reasons(),
+            }
+        )
+    if args.json:
+        print(json.dumps({**report.summary(), "items": items}, indent=2, sort_keys=True))
+        return 0
+    for item in items:
+        mean = item["rounds"]["mean"]
+        print(
+            f"[{item['source']:5s}] {item['key'][:12]}  "
+            f"{item['dynamics']} n={item['n']} k={item['k']} "
+            f"win={item['plurality_win_rate']:.3f} "
+            f"rounds_mean={'n/a' if mean is None else format(mean, '.1f')}"
+        )
+    summary = report.summary()
+    print(
+        f"{summary['requests']} requests ({summary['unique']} unique): "
+        f"{summary['hits']} cache hits, {summary['misses']} executed, "
+        f"{summary['deduped']} deduped in {summary['wall_seconds']:.2f}s"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _open_cache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    if args.cache_command == "purge":
+        removed = cache.purge_stale()
+        print(
+            f"removed {removed} stale results (schema != {cache.schema_version}) "
+            f"from {cache.root}"
+        )
+        return 0
+    stats = cache.stats()
+    if getattr(args, "json", False):
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"cache root:     {stats['root']}")
+    print(f"schema version: {stats['schema_version']}")
+    print(f"disk entries:   {stats['disk_entries']} ({stats['disk_bytes']} bytes)")
+    return 0
+
+
 def _cmd_scenarios(as_json: bool) -> int:
     from .core.registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS
     from .scenario import ScenarioSpec
@@ -265,6 +393,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios(args.json)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 2  # pragma: no cover — argparse enforces the choices
 
 

@@ -18,7 +18,7 @@ from .population import (
     PopulationResult,
     UndecidedPopulation,
 )
-from .process import EnsembleResult, ProcessResult, run_ensemble, run_process
+from .process import ENGINE_SCHEMA_VERSION, EnsembleResult, ProcessResult, run_ensemble, run_process
 from .registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS, Registry
 from .rng import derive_seed, make_rng, spawn_streams, stream_iter
 from .stopping import (
@@ -58,6 +58,7 @@ __all__ = [
     "DISTINCT_PATTERNS",
     "DYNAMICS",
     "Dynamics",
+    "ENGINE_SCHEMA_VERSION",
     "EnsembleResult",
     "HPlurality",
     "MedianDynamics",

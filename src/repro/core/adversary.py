@@ -123,29 +123,64 @@ class TargetedAdversary(Adversary):
 
 @ADVERSARIES.register("balancing")
 class BalancingAdversary(Adversary):
-    """Greedy bias-minimiser: repeatedly level the top two colors.
+    """Greedy bias-minimiser: repeatedly level the top two *supported* colors.
 
     Moves up to ``budget`` agents from the current maximum to the current
     minimum-among-supported colors, one greedy unit block at a time; a
     stronger bias-reduction than :class:`TargetedAdversary` when several
-    colors are close to the top.  The greedy loop is data-dependent, so the
-    batch path keeps the per-row default.
+    colors are close to the top.  Extinct (count-0) colors are never fed:
+    this adversary attacks the bias, not Lemma 5's extinction argument, so
+    dead colors stay dead.  The batch path runs the same greedy schedule for
+    all rows in lock-step (each iteration is one broadcast argmax/argmin
+    pass over the still-active rows), bit-identical to the per-row loop.
     """
 
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         remaining = self.budget
         while remaining > 0:
-            top = int(np.argmax(counts))
-            low = int(np.argmin(counts))
-            if counts[top] - counts[low] <= 1:
+            supported = np.nonzero(counts > 0)[0]
+            if supported.size <= 1:
+                break
+            top = int(np.argmax(counts))  # the max is always supported
+            low = int(supported[np.argmin(counts[supported])])
+            gap = int(counts[top] - counts[low])
+            if gap <= 1:
                 break
             # Move just enough to level, bounded by the budget.
-            move = min(remaining, int(counts[top] - counts[low]) // 2, int(counts[top]))
-            if move == 0:
-                break
+            move = min(remaining, gap // 2)
             counts[top] -= move
             counts[low] += move
             remaining -= move
+        return counts
+
+    def _act_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if counts.shape[0] == 0 or self.budget == 0:
+            return counts
+        replicas = counts.shape[0]
+        remaining = np.full(replicas, self.budget, dtype=np.int64)
+        active = np.ones(replicas, dtype=bool)
+        while True:
+            rows = np.nonzero(active)[0]
+            if rows.size == 0:
+                break
+            sub = counts[rows]
+            pick = np.arange(rows.size)
+            supported = sub > 0
+            top = np.argmax(sub, axis=1)
+            low = np.argmin(np.where(supported, sub, np.iinfo(np.int64).max), axis=1)
+            gap = sub[pick, top] - sub[pick, low]
+            move = np.minimum(remaining[rows], gap // 2)
+            progressing = (supported.sum(axis=1) > 1) & (gap > 1) & (move > 0)
+            stalled = rows[~progressing]
+            active[stalled] = False
+            rows = rows[progressing]
+            if rows.size == 0:
+                break
+            top, low, move = top[progressing], low[progressing], move[progressing]
+            counts[rows, top] -= move
+            counts[rows, low] += move
+            remaining[rows] -= move
+            active[rows] = remaining[rows] > 0
         return counts
 
 

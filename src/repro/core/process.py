@@ -33,7 +33,22 @@ from .stopping import (
     stopping_from_dict,
 )
 
-__all__ = ["ProcessResult", "EnsembleResult", "run_process", "run_ensemble"]
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "ProcessResult",
+    "EnsembleResult",
+    "run_process",
+    "run_ensemble",
+]
+
+#: Version of the engine/result contract.  Bump whenever a change makes the
+#: runners produce *different results at equal seed* (RNG stream discipline,
+#: stepping order, stopping semantics, adversary strategies): cached
+#: :class:`EnsembleResult` entries are keyed by this version, so stale
+#: results from an older engine are invalidated instead of served.
+#: History: 1 = PR 2 contract; 2 = delimited ``derive_seed`` hashing,
+#: t=0 stopping-rule evaluation, supported-only ``BalancingAdversary``.
+ENGINE_SCHEMA_VERSION = 2
 
 #: ``stopped_by`` label for replicas absorbed in a monochromatic state.
 _MONO = "monochromatic"
@@ -232,7 +247,12 @@ def run_process(
     rounds = 0
     converged = _is_monochromatic(state, k)
     stopped_by = _MONO if converged else None
-    while not converged and rounds < max_rounds:
+    if stopped_by is None and stopping is not None:
+        # Stopping rules are evaluated on the *initial* configuration too:
+        # a rule already satisfied at t=0 ends the run with rounds=0 instead
+        # of silently burning one round.
+        stopped_by = stopping.fired(state[:k], n, 0)
+    while stopped_by is None and rounds < max_rounds:
         state = dynamics.step(state, generator)
         if adversary is not None:
             if dynamics.uses_extra_state:
@@ -247,8 +267,6 @@ def run_process(
             stopped_by = _MONO
         elif stopping is not None:
             stopped_by = stopping.fired(state[:k], n, rounds)
-            if stopped_by is not None:
-                break
 
     winner = int(np.argmax(state[:k])) if converged else None
     return ProcessResult(
@@ -340,10 +358,26 @@ def run_ensemble(
             stopped_by[idx] = _MONO
         return ~mono
 
+    def cull_stopped(live_idx: np.ndarray, states: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """Retire replicas whose stopping rule fires at round ``t``."""
+        fired = stopping.fired_many(states[:, :k], n, t)
+        hit = ~np.equal(fired, None)
+        if np.any(hit):
+            idx = live_idx[hit]
+            rounds[idx] = t
+            final_counts[idx] = states[hit, :k]
+            stopped_by[idx] = fired[hit]
+            live_idx = live_idx[~hit]
+            states = states[~hit]
+        return live_idx, states
+
     live_idx = np.arange(replicas)
     alive = absorb(live_idx, states, 0)
     live_idx = live_idx[alive]
     states = states[alive]
+    if stopping is not None and live_idx.size:
+        # Mirror run_process: rules see the initial configuration at t=0.
+        live_idx, states = cull_stopped(live_idx, states, 0)
 
     t = 0
     while live_idx.size and t < max_rounds:
@@ -356,15 +390,7 @@ def run_ensemble(
             live_idx = live_idx[alive]
             states = states[alive]
         if stopping is not None and live_idx.size:
-            fired = stopping.fired_many(states[:, :k], n, t)
-            hit = ~np.equal(fired, None)
-            if np.any(hit):
-                idx = live_idx[hit]
-                rounds[idx] = t
-                final_counts[idx] = states[hit, :k]
-                stopped_by[idx] = fired[hit]
-                live_idx = live_idx[~hit]
-                states = states[~hit]
+            live_idx, states = cull_stopped(live_idx, states, t)
 
     if live_idx.size:
         final_counts[live_idx] = states[:, :k]

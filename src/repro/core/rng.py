@@ -11,6 +11,7 @@ of execution order or batching.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator, Sequence
 
 import numpy as np
@@ -79,12 +80,24 @@ def derive_seed(root_seed: int | None, *path: int | str) -> np.random.SeedSequen
     ``path`` components (experiment id, sweep index, replica index, ...) are
     hashed into the entropy pool, so distinct paths give independent streams
     and re-running with the same path reproduces the stream exactly.
+
+    Each component is fed to the hash with a type tag and a length prefix,
+    so the encoding is injective: ``("ab",)`` vs ``("a", "b")``, ``("a",)``
+    vs ``(97,)`` and ``-1`` vs ``0xFFFFFFFF`` all map to distinct entropy
+    (the undelimited concatenation used previously collided on all three).
     """
-    digest: list[int] = []
+    hasher = hashlib.sha256()
     for part in path:
         if isinstance(part, str):
-            digest.extend(part.encode("utf-8"))
+            tag, data = b"s", part.encode("utf-8")
+        elif isinstance(part, (int, np.integer)) and not isinstance(part, bool):
+            tag, data = b"i", str(int(part)).encode("ascii")
         else:
-            digest.append(int(part) & 0xFFFFFFFF)
-    entropy: Sequence[int] = [root_seed if root_seed is not None else 0, *digest]
+            raise TypeError(f"path components must be int or str, got {part!r}")
+        hasher.update(tag)
+        hasher.update(len(data).to_bytes(8, "big"))
+        hasher.update(data)
+    digest = hasher.digest()
+    words = [int.from_bytes(digest[i : i + 4], "big") for i in range(0, len(digest), 4)]
+    entropy: Sequence[int] = [root_seed if root_seed is not None else 0, *words]
     return np.random.SeedSequence(entropy)

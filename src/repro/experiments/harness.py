@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from ..core.process import EnsembleResult, run_ensemble
 from ..core.rng import derive_seed, make_rng
 from ..scenario import ScenarioSpec, simulate_ensemble
 from .results import ResultTable
+
+if TYPE_CHECKING:  # keep experiments → serve a type-only dependency
+    from ..serve.cache import ResultCache
 
 __all__ = [
     "SCALES",
@@ -102,11 +106,17 @@ def run_sweep_point(
     max_rounds: int,
     stream_seed,
     adversary: Adversary | None = None,
+    cache: ResultCache | None = None,
 ) -> EnsembleResult:
     """Measure one built sweep point (spec or classic pair) on one stream.
 
     Shared by the sequential and multiprocess sweeps so both accept the
-    same two ``build`` contracts and stay result-identical.
+    same two ``build`` contracts and stay result-identical.  With a
+    ``cache``, spec-built points are served through
+    :meth:`~repro.serve.cache.ResultCache.fetch_or_run` keyed on the derived
+    stream seed — bit-identical to the uncached path, so repeated sweeps run
+    warm.  Classic ``(dynamics, initial)`` pairs have no content address and
+    always execute.
     """
     if isinstance(built, ScenarioSpec):
         if adversary is not None:
@@ -115,6 +125,8 @@ def run_sweep_point(
                 "declare the adversary inside the spec"
             )
         spec = built.with_overrides(replicas=replicas, max_rounds=max_rounds)
+        if cache is not None:
+            return cache.fetch_or_run(spec, seed=stream_seed)
         return simulate_ensemble(spec, rng=make_rng(stream_seed))
     dynamics, initial = built
     return ensemble_at(
@@ -136,6 +148,7 @@ def sweep(
     seed: int,
     experiment_id: str,
     adversary_for: Callable[[Mapping[str, object]], Adversary | None] | None = None,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Measure an ensemble at every parameter point.
 
@@ -153,6 +166,10 @@ def sweep(
     seed / experiment_id:
         Combined through :func:`~repro.core.rng.derive_seed` with the point
         index, so each point gets an independent, reproducible stream.
+    cache:
+        Optional :class:`~repro.serve.cache.ResultCache`: spec-built points
+        are keyed by (spec, derived stream seed) and served warm on repeat
+        sweeps, bit-identical to a cold run.
     """
     out: list[SweepPoint] = []
     for idx, params in enumerate(points):
@@ -166,6 +183,7 @@ def sweep(
             max_rounds=max_rounds,
             stream_seed=stream_seed,
             adversary=adversary,
+            cache=cache,
         )
         out.append(
             SweepPoint(

@@ -11,24 +11,33 @@ Implementation notes (per the mpi4py/HPC guidance of keeping workers
 stateless and communication coarse): each worker receives one
 pickle-friendly task description (builder + params + derived seed), runs a
 full replica ensemble, and returns only the small result arrays.
+
+With a :class:`~repro.serve.cache.ResultCache`, the parent probes the cache
+before dispatch — spec-built points that hit skip the pool entirely, and
+fresh results are stored back on return — so a repeated parallel sweep
+runs warm without any cross-process cache coordination.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from collections.abc import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from ..core.adversary import Adversary
 from ..core.rng import derive_seed
+from ..scenario import ScenarioSpec
 from .harness import SweepPoint, run_sweep_point
+
+if TYPE_CHECKING:  # keep experiments → serve a type-only dependency
+    from ..serve.cache import ResultCache
 
 __all__ = ["parallel_sweep"]
 
 
 def _run_point(task) -> tuple[int, SweepPoint]:
     (idx, params, build, adversary_for, replicas, max_rounds, seed, experiment_id) = task
-    import time
-
     built = build(params)
     adversary = adversary_for(params) if adversary_for is not None else None
     stream_seed = derive_seed(seed, experiment_id, idx)
@@ -55,23 +64,63 @@ def parallel_sweep(
     experiment_id: str,
     adversary_for: Callable[[Mapping[str, object]], Adversary | None] | None = None,
     processes: int | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[SweepPoint]:
     """Drop-in parallel variant of :func:`repro.experiments.harness.sweep`.
 
     ``build`` (and ``adversary_for``) must be picklable (module-level
     functions, not closures).  With ``processes=1`` the pool is skipped
-    entirely, giving a no-dependency fallback path.
+    entirely, giving a no-dependency fallback path.  ``cache`` works as in
+    the sequential sweep (spec builds only): hits are resolved in the
+    parent, misses go to the pool, and results stay bit-identical to an
+    uncached run.  The parent's cache probe calls ``build`` once per point
+    (workers build again for the misses), so builders must stay cheap and
+    deterministic — which picklability already demands.
     """
     point_list = [dict(p) for p in points]
     tasks = [
         (idx, params, build, adversary_for, replicas, max_rounds, seed, experiment_id)
         for idx, params in enumerate(point_list)
     ]
+
+    cached_points: dict[int, SweepPoint] = {}
+    point_keys: dict[int, str] = {}
+    if cache is not None:
+        for idx, params in enumerate(point_list):
+            built = build(params)
+            if not isinstance(built, ScenarioSpec):
+                continue
+            if adversary_for is not None and adversary_for(params) is not None:
+                # Same contract run_sweep_point enforces; check it here too
+                # so a cache hit can't silently skip the guard.
+                raise ValueError(
+                    "adversary_for cannot be combined with ScenarioSpec builds; "
+                    "declare the adversary inside the spec"
+                )
+            spec = built.with_overrides(replicas=replicas, max_rounds=max_rounds)
+            key = cache.key_for(spec, seed=derive_seed(seed, experiment_id, idx))
+            point_keys[idx] = key
+            start = time.perf_counter()
+            hit = cache.get(key)
+            if hit is not None:
+                cached_points[idx] = SweepPoint(
+                    params=dict(params),
+                    ensemble=hit,
+                    wall_seconds=time.perf_counter() - start,
+                )
+        tasks = [task for task in tasks if task[0] not in cached_points]
+
     if processes == 1 or len(tasks) <= 1:
         results = [_run_point(t) for t in tasks]
     else:
         ctx = mp.get_context("spawn")  # fork-safety with BLAS threads
         with ctx.Pool(processes=processes) as pool:
             results = pool.map(_run_point, tasks)
-    results.sort(key=lambda pair: pair[0])
-    return [point for _, point in results]
+    if cache is not None:
+        for idx, point in results:
+            key = point_keys.get(idx)
+            if key is not None:
+                cache.put(key, point.ensemble)
+    merged = dict(results)
+    merged.update(cached_points)
+    return [merged[idx] for idx in sorted(merged)]

@@ -150,8 +150,17 @@ class ScenarioSpec:
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would choke on the dict
         # fields; canonical (sorted-key, compact) JSON is the stable
-        # identity — the same string a cache/shard layer would key on.
-        return hash(self.to_json(indent=None))
+        # identity — the same string the serve-layer cache keys on.
+        return hash(self.canonical_json())
+
+    def canonical_json(self) -> str:
+        """Canonical identity string: compact JSON with sorted keys.
+
+        Two specs are the same scenario iff their canonical JSON is equal;
+        this is the string :mod:`repro.serve.cache` hashes into the
+        content-addressed cache key.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
     # -- serialization -------------------------------------------------------
 

@@ -1,0 +1,27 @@
+"""Serving substrate: the content-addressed result cache + batch executor.
+
+``repro.serve`` is the layer that turns the declarative scenario API into
+something that can absorb heavy repeated traffic: :class:`ResultCache`
+memoises :func:`~repro.scenario.simulate_ensemble` results under a
+content-addressed key (canonical scenario JSON + seed + engine schema
+version), and :func:`run_batch` executes many specs at once — deduping
+identical requests, serving hits from the cache and sharding the misses
+over a spawn-context process pool — while preserving request order.
+
+Results served from the cache are bit-identical to a direct
+``simulate_ensemble`` call at equal seed, and cache entries written by an
+older engine (see ``repro.core.process.ENGINE_SCHEMA_VERSION``) are
+invalidated instead of served.
+"""
+
+from .cache import DEFAULT_MEMORY_ENTRIES, ResultCache, cache_key, default_cache_dir
+from .executor import BatchReport, run_batch
+
+__all__ = [
+    "BatchReport",
+    "DEFAULT_MEMORY_ENTRIES",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "run_batch",
+]

@@ -1,0 +1,385 @@
+"""Content-addressed cache for :class:`~repro.core.process.EnsembleResult`.
+
+A scenario is plain data (PR 2), so its simulation result is a pure
+function of ``(canonical scenario JSON, effective seed, engine schema
+version)``.  :func:`cache_key` hashes exactly that triple;
+:class:`ResultCache` stores results under the key in a small in-memory LRU
+backed by an on-disk store (one ``.npz`` of arrays plus one ``.json``
+manifest per entry), so warm lookups cost a dict probe and cold processes
+can still reuse results written by earlier runs.
+
+Correctness contract (asserted in ``tests/test_serve.py``):
+
+* a cache hit is **bit-identical** to calling
+  :func:`~repro.scenario.simulate_ensemble` directly at equal seed — same
+  arrays, same dtypes, same per-replica ``stopped_by`` labels;
+* entries written under a different
+  :data:`~repro.core.process.ENGINE_SCHEMA_VERSION` are never served:
+  the version is part of the key, so a new engine simply cannot address
+  old entries (plus a manifest check as defence in depth for an entry
+  that somehow lands under the right key).  Orphaned old-version files
+  are reclaimed by :meth:`ResultCache.purge_stale` (``repro cache
+  purge``) or wholesale by :meth:`ResultCache.clear`;
+* scenarios with ``seed=None`` (OS entropy) are not cacheable and are
+  rejected at key time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..core.process import ENGINE_SCHEMA_VERSION, EnsembleResult
+from ..scenario import ScenarioSpec
+
+__all__ = ["DEFAULT_MEMORY_ENTRIES", "ResultCache", "cache_key", "default_cache_dir"]
+
+#: Default capacity of the in-memory LRU layer (entries, not bytes).
+DEFAULT_MEMORY_ENTRIES = 256
+
+_MANIFEST_SUFFIX = ".json"
+_ARRAYS_SUFFIX = ".npz"
+
+
+def default_cache_dir() -> Path:
+    """On-disk cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _seed_token(seed) -> object:
+    """JSON-able canonical form of an effective seed.
+
+    Accepts an ``int`` or a :class:`numpy.random.SeedSequence` (the form
+    :func:`~repro.core.rng.derive_seed` produces, which is how sweeps name
+    their per-point streams).  Generators are rejected: their future output
+    depends on hidden state, so a result keyed on one would not be
+    reproducible.
+    """
+    if isinstance(seed, bool) or seed is None:
+        raise ValueError(f"seed {seed!r} is not cacheable (need an int or SeedSequence)")
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:
+            raise ValueError("cannot cache a SeedSequence with OS entropy")
+        if isinstance(entropy, (int, np.integer)):
+            entropy = [int(entropy)]
+        else:
+            entropy = [int(word) for word in entropy]
+        return {
+            "entropy": entropy,
+            "spawn_key": [int(word) for word in seed.spawn_key],
+            "pool_size": int(seed.pool_size),
+        }
+    raise ValueError(f"seed {seed!r} is not cacheable (need an int or SeedSequence)")
+
+
+def cache_key(
+    spec: ScenarioSpec,
+    *,
+    seed=None,
+    schema_version: int = ENGINE_SCHEMA_VERSION,
+) -> str:
+    """Content-addressed key of one ensemble request (a sha256 hex digest).
+
+    The key hashes the spec's canonical JSON, the *effective* seed and the
+    engine schema version.  ``seed`` overrides the spec's own seed — this is
+    the hook for the sweep harness, which threads derived
+    :class:`~numpy.random.SeedSequence` streams instead of the spec seed;
+    the spec's ``seed`` field is excluded from the hash in that case, so a
+    sweep point caches identically whatever throwaway seed the builder put
+    in the spec.
+    """
+    scenario = spec.to_dict()
+    if seed is not None:
+        scenario["seed"] = None
+        effective = _seed_token(seed)
+    else:
+        effective = _seed_token(spec.seed)
+    payload = {"schema": int(schema_version), "scenario": scenario, "seed": effective}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _encode(result: EnsembleResult) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a result into a JSON-able manifest + an array payload."""
+    manifest = {
+        "plurality_color": int(result.plurality_color),
+        "max_rounds": int(result.max_rounds),
+        "has_final_counts": result.final_counts is not None,
+        "has_stopped_by": result.stopped_by is not None,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "rounds": result.rounds,
+        "winners": result.winners,
+        "converged": result.converged,
+    }
+    if result.final_counts is not None:
+        arrays["final_counts"] = result.final_counts
+    if result.stopped_by is not None:
+        # Object arrays don't npz-save without pickle; str labels round-trip
+        # exactly through a fixed-width unicode array.
+        arrays["stopped_by"] = np.asarray(result.stopped_by, dtype=str)
+    return manifest, arrays
+
+
+def _decode(manifest: dict, arrays) -> EnsembleResult:
+    stopped_by = None
+    if manifest["has_stopped_by"]:
+        stopped_by = np.array([str(label) for label in arrays["stopped_by"]], dtype=object)
+    return EnsembleResult(
+        rounds=np.asarray(arrays["rounds"]),
+        winners=np.asarray(arrays["winners"]),
+        converged=np.asarray(arrays["converged"]),
+        plurality_color=int(manifest["plurality_color"]),
+        max_rounds=int(manifest["max_rounds"]),
+        final_counts=np.asarray(arrays["final_counts"]) if manifest["has_final_counts"] else None,
+        stopped_by=stopped_by,
+    )
+
+
+def _copy_result(result: EnsembleResult) -> EnsembleResult:
+    """Defensive copy so callers can't mutate the cached arrays."""
+    return EnsembleResult(
+        rounds=result.rounds.copy(),
+        winners=result.winners.copy(),
+        converged=result.converged.copy(),
+        plurality_color=result.plurality_color,
+        max_rounds=result.max_rounds,
+        final_counts=None if result.final_counts is None else result.final_counts.copy(),
+        stopped_by=None if result.stopped_by is None else result.stopped_by.copy(),
+    )
+
+
+class ResultCache:
+    """LRU-over-disk store of ensemble results, keyed by :func:`cache_key`.
+
+    Parameters
+    ----------
+    root:
+        Directory for the on-disk layer; created on first write.  ``None``
+        makes the cache memory-only (useful for tests and one-shot sweeps).
+    memory_entries:
+        Capacity of the in-memory LRU layer.  Disk entries are unbounded;
+        ``clear()`` removes both layers.
+    schema_version:
+        The engine contract this cache trusts.  Disk entries recorded under
+        any other version are deleted on lookup instead of served.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        schema_version: int = ENGINE_SCHEMA_VERSION,
+    ):
+        if memory_entries < 1:
+            raise ValueError(f"memory_entries must be >= 1, got {memory_entries}")
+        self.root = None if root is None else Path(root).expanduser()
+        self.memory_entries = int(memory_entries)
+        self.schema_version = int(schema_version)
+        self._memory: OrderedDict[str, EnsembleResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidated = 0
+
+    # -- keying --------------------------------------------------------------
+
+    def key_for(self, spec: ScenarioSpec, *, seed=None) -> str:
+        return cache_key(spec, seed=seed, schema_version=self.schema_version)
+
+    # -- lookup / store ------------------------------------------------------
+
+    def get(self, key: str) -> EnsembleResult | None:
+        """The stored result for ``key``, or None on a miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return _copy_result(cached)
+        cached = self._disk_get(key)
+        if cached is not None:
+            self._memory_put(key, cached)
+            self.hits += 1
+            return _copy_result(cached)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: EnsembleResult) -> None:
+        """Store ``result`` under ``key`` in both layers."""
+        if not isinstance(result, EnsembleResult):
+            raise TypeError(f"can only cache EnsembleResult, got {type(result).__name__}")
+        result = _copy_result(result)
+        self._memory_put(key, result)
+        self._disk_put(key, result)
+        self.stores += 1
+
+    def fetch_or_run(self, spec: ScenarioSpec, *, seed=None, runner=None) -> EnsembleResult:
+        """Serve ``spec`` from the cache, running and storing it on a miss.
+
+        ``runner`` defaults to :func:`~repro.scenario.simulate_ensemble`
+        driven by the effective seed, so hit or miss the caller sees the
+        exact same result.
+        """
+        key = self.key_for(spec, seed=seed)
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        if runner is None:
+            from ..core.rng import make_rng
+            from ..scenario import simulate_ensemble
+
+            result = simulate_ensemble(spec, rng=None if seed is None else make_rng(seed))
+        else:
+            result = runner(spec)
+        self.put(key, result)
+        return result
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Counters + layer sizes, JSON-able (what ``repro cache stats`` prints)."""
+        disk_entries = 0
+        disk_bytes = 0
+        if self.root is not None and self.root.is_dir():
+            for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
+                disk_entries += 1
+                disk_bytes += manifest.stat().st_size
+                arrays = manifest.with_suffix(_ARRAYS_SUFFIX)
+                if arrays.exists():
+                    disk_bytes += arrays.stat().st_size
+        return {
+            "root": None if self.root is None else str(self.root),
+            "schema_version": self.schema_version,
+            "memory_entries": len(self._memory),
+            "memory_capacity": self.memory_entries,
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+        }
+
+    def purge_stale(self) -> int:
+        """Delete disk entries recorded under another engine schema version.
+
+        Old-version entries can never be *served* (the version is hashed
+        into the key), but they would otherwise sit on disk forever after a
+        version bump; this reclaims them without touching current entries.
+        Returns the number of entries removed.
+        """
+        removed = 0
+        if self.root is not None and self.root.is_dir():
+            for manifest_path in self.root.glob("*" + _MANIFEST_SUFFIX):
+                try:
+                    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError):
+                    manifest = {}
+                if manifest.get("schema") != self.schema_version:
+                    self._remove_entry(manifest_path)
+                    removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry in both layers; returns the number of distinct
+        keys removed (an entry resident in memory *and* on disk counts once)."""
+        keys = set(self._memory)
+        self._memory.clear()
+        if self.root is not None and self.root.is_dir():
+            for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
+                keys.add(manifest.stem)
+                self._remove_entry(manifest)
+        return len(keys)
+
+    # -- internals -----------------------------------------------------------
+
+    def _memory_put(self, key: str, result: EnsembleResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        assert self.root is not None
+        return self.root / (key + _MANIFEST_SUFFIX), self.root / (key + _ARRAYS_SUFFIX)
+
+    def _disk_get(self, key: str) -> EnsembleResult | None:
+        if self.root is None:
+            return None
+        manifest_path, arrays_path = self._paths(key)
+        if not manifest_path.exists():
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self._remove_entry(manifest_path)
+            return None
+        if manifest.get("schema") != self.schema_version:
+            # Written by a different engine contract: invalidate, don't serve.
+            self._remove_entry(manifest_path)
+            self.invalidated += 1
+            return None
+        try:
+            with np.load(arrays_path) as arrays:
+                return _decode(manifest, arrays)
+        except (OSError, KeyError, ValueError):
+            self._remove_entry(manifest_path)
+            return None
+
+    def _disk_put(self, key: str, result: EnsembleResult) -> None:
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest_path, arrays_path = self._paths(key)
+        manifest, arrays = _encode(result)
+        manifest["schema"] = self.schema_version
+        manifest["key"] = key
+        # Write arrays first, manifest last (atomically): a manifest on disk
+        # marks a complete entry, so a crash mid-write leaves a miss, not a
+        # corrupt hit.  The ".tmp" suffix keeps in-flight files out of the
+        # "*.json"/"*.npz" entry namespace that stats()/clear() glob over.
+        with tempfile.NamedTemporaryFile(
+            dir=self.root, suffix=_ARRAYS_SUFFIX + ".tmp", delete=False
+        ) as handle:
+            np.savez(handle, **arrays)
+            tmp_arrays = handle.name
+        os.replace(tmp_arrays, arrays_path)
+        with tempfile.NamedTemporaryFile(
+            "w", dir=self.root, suffix=_MANIFEST_SUFFIX + ".tmp", delete=False, encoding="utf-8"
+        ) as handle:
+            json.dump(manifest, handle, sort_keys=True)
+            tmp_manifest = handle.name
+        os.replace(tmp_manifest, manifest_path)
+
+    def _remove_entry(self, manifest_path: Path) -> None:
+        for path in (manifest_path, manifest_path.with_suffix(_ARRAYS_SUFFIX)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        if self.root is None:
+            return False
+        return self._paths(key)[0].exists()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, entries={len(self._memory)}mem, "
+            f"schema={self.schema_version}, hits={self.hits}, misses={self.misses})"
+        )

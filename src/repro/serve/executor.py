@@ -1,0 +1,177 @@
+"""Batch executor: dedup, cache probe, and sharded execution of many specs.
+
+:func:`run_batch` is the serving hot path for scenario traffic.  It takes a
+request-ordered list of :class:`~repro.scenario.ScenarioSpec`, collapses
+duplicate requests onto one execution via their content-addressed
+:func:`~repro.serve.cache.cache_key`, serves whatever the
+:class:`~repro.serve.cache.ResultCache` already holds, and shards the
+remaining misses over a spawn-context process pool (the same pool
+discipline as :func:`repro.experiments.parallel.parallel_sweep`: spawn
+context for BLAS-thread safety, stateless workers, one coarse
+pickle-friendly shard of work per worker, small arrays back).
+
+Determinism: every spec carries its own seed, so a result is a pure
+function of the spec — identical whichever worker (or the parent) runs it,
+and bit-identical to a direct :func:`~repro.scenario.simulate_ensemble`
+call.  That is what makes the dedup and the cache sound.  Specs with
+``seed=None`` are rejected up front.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.process import EnsembleResult
+from ..scenario import ScenarioSpec, simulate_ensemble
+from .cache import ResultCache, cache_key
+
+__all__ = ["BatchReport", "run_batch"]
+
+#: Per-request provenance labels in :attr:`BatchReport.sources`.
+FROM_CACHE = "cache"
+FROM_RUN = "run"
+FROM_DEDUP = "dedup"
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :func:`run_batch` call, in request order."""
+
+    results: list[EnsembleResult]
+    keys: list[str]
+    #: Per-request provenance: ``"cache"`` (served from the cache), ``"run"``
+    #: (freshly executed), or ``"dedup"`` (duplicate of an earlier request in
+    #: the same batch).
+    sources: list[str] = field(repr=False)
+    hits: int = 0
+    misses: int = 0
+    deduped: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.results)
+
+    def summary(self) -> dict[str, object]:
+        """JSON-able batch-level counters (what ``repro batch`` prints)."""
+        return {
+            "requests": self.requests,
+            "unique": self.requests - self.deduped,
+            "hits": self.hits,
+            "misses": self.misses,
+            "deduped": self.deduped,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _run_shard(shard: list[tuple[str, str]]) -> list[tuple[str, EnsembleResult]]:
+    """Worker: execute one shard of ``(key, spec_json)`` tasks.
+
+    Module-level (picklable) and stateless; the spec JSON is the entire
+    task description, per the coarse-communication discipline.
+    """
+    out = []
+    for key, spec_json in shard:
+        spec = ScenarioSpec.from_json(spec_json)
+        out.append((key, simulate_ensemble(spec)))
+    return out
+
+
+def run_batch(
+    specs: Sequence[ScenarioSpec],
+    *,
+    cache: ResultCache | None = None,
+    processes: int | None = None,
+) -> BatchReport:
+    """Execute ``specs``, merging cache hits and fresh runs in request order.
+
+    Parameters
+    ----------
+    specs:
+        The request batch; every spec must have a concrete ``seed`` (results
+        would otherwise be irreproducible, breaking dedup and caching).
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are stored back.  Without a cache the batch still
+        dedups identical requests within itself.
+    processes:
+        Pool width for the misses.  ``None`` lets ``multiprocessing`` pick;
+        ``1`` (or a batch with at most one miss) runs inline with no pool —
+        the dependency-free fallback path.
+
+    Duplicate requests share one ``EnsembleResult`` object; treat results
+    as read-only (the cache already hands out defensive copies).
+    """
+    specs = list(specs)
+    for position, spec in enumerate(specs):
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(f"specs[{position}] is not a ScenarioSpec: {spec!r}")
+        if spec.seed is None:
+            raise ValueError(
+                f"specs[{position}] has seed=None; batch execution needs concrete "
+                "seeds so results are reproducible and cacheable"
+            )
+    start = time.perf_counter()
+    keys = [
+        cache.key_for(spec) if cache is not None else cache_key(spec) for spec in specs
+    ]
+
+    # Dedup: the first occurrence of each key owns the execution slot.
+    owner_of: dict[str, int] = {}
+    sources: list[str] = []
+    for position, key in enumerate(keys):
+        if key in owner_of:
+            sources.append(FROM_DEDUP)
+        else:
+            owner_of[key] = position
+            sources.append(None)  # filled below with "cache" or "run"
+
+    results: dict[str, EnsembleResult] = {}
+    to_run: list[tuple[str, str]] = []
+    for key, position in owner_of.items():
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[key] = cached
+            sources[position] = FROM_CACHE
+        else:
+            to_run.append((key, specs[position].to_json(indent=None)))
+            sources[position] = FROM_RUN
+    hits = len(owner_of) - len(to_run)
+
+    if to_run:
+        fresh = _execute(to_run, processes)
+        for key, result in fresh:
+            results[key] = result
+            if cache is not None:
+                cache.put(key, result)
+
+    ordered = [results[key] for key in keys]
+    return BatchReport(
+        results=ordered,
+        keys=keys,
+        sources=sources,
+        hits=hits,
+        misses=len(to_run),
+        deduped=len(specs) - len(owner_of),
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def _execute(
+    tasks: list[tuple[str, str]], processes: int | None
+) -> list[tuple[str, EnsembleResult]]:
+    """Run the miss tasks, sharded over a spawn pool (or inline when trivial)."""
+    if processes == 1 or len(tasks) <= 1:
+        return _run_shard(tasks)
+    ctx = mp.get_context("spawn")  # fork-safety with BLAS threads
+    workers = processes if processes is not None else min(len(tasks), ctx.cpu_count() or 1)
+    workers = max(1, min(workers, len(tasks)))
+    if workers == 1:
+        return _run_shard(tasks)
+    shards = [tasks[offset::workers] for offset in range(workers)]
+    with ctx.Pool(processes=workers) as pool:
+        shard_results = pool.map(_run_shard, shards)
+    return [pair for shard in shard_results for pair in shard]

@@ -84,6 +84,42 @@ class TestBalancing:
         out = BalancingAdversary(10).corrupt(np.array([5, 5, 5]), rng)
         assert out.tolist() == [5, 5, 5]
 
+    # -- regression: plain argmin fed dead colors ([10, 6, 0] -> [5, 6, 5]) --
+
+    def test_never_resurrects_dead_colors(self, rng):
+        out = BalancingAdversary(5).corrupt(np.array([10, 6, 0]), rng)
+        assert out.tolist() == [8, 8, 0]
+
+    def test_levels_among_supported_only(self, rng):
+        out = BalancingAdversary(100).corrupt(np.array([60, 0, 20, 0, 20]), rng)
+        assert out[[1, 3]].tolist() == [0, 0]
+        supported = out[[0, 2, 4]]
+        assert supported.max() - supported.min() <= 1
+
+    def test_single_supported_color_is_noop(self, rng):
+        out = BalancingAdversary(10).corrupt(np.array([7, 0, 0]), rng)
+        assert out.tolist() == [7, 0, 0]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=200), min_size=3, max_size=5).filter(
+                lambda xs: sum(xs) > 0
+            ),
+            min_size=1,
+            max_size=6,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+        st.integers(min_value=0, max_value=80),
+    )
+    def test_batched_balancing_matches_per_row(self, rows, budget):
+        adv = BalancingAdversary(budget)
+        rng = np.random.default_rng(3)
+        batch = np.array(rows, dtype=np.int64)
+        many = adv._act_many(batch.copy(), rng)
+        single = np.stack([adv._act(row.copy(), rng) for row in batch])
+        assert np.array_equal(many, single)
+        # Dead colors stay dead, row by row.
+        assert not np.any((batch == 0) & (many > 0))
+
 
 class TestRandomAndRevive:
     def test_random_preserves_mass(self, rng):

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.rng import derive_seed, make_rng, spawn_streams, stream_iter
 
@@ -68,3 +70,46 @@ class TestDeriveSeed:
     def test_none_root(self):
         ss = derive_seed(None, "x")
         assert isinstance(ss, np.random.SeedSequence)
+
+    # -- regression: undelimited concatenation collided on all of these -----
+
+    def test_split_string_path_differs_from_joined(self):
+        assert derive_seed(1, "ab").entropy != derive_seed(1, "a", "b").entropy
+
+    def test_string_differs_from_codepoint_int(self):
+        assert derive_seed(1, "a").entropy != derive_seed(1, 97).entropy
+
+    def test_negative_int_does_not_wrap(self):
+        assert derive_seed(1, -1).entropy != derive_seed(1, 0xFFFFFFFF).entropy
+
+    def test_boundary_shift_differs(self):
+        assert derive_seed(0, "E1", 23).entropy != derive_seed(0, "E12", 3).entropy
+
+    def test_rejects_unhashable_component_types(self):
+        with pytest.raises(TypeError, match="int or str"):
+            derive_seed(0, 1.5)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.text(max_size=8),
+            ),
+            max_size=4,
+        ),
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.text(max_size=8),
+            ),
+            max_size=4,
+        ),
+    )
+    def test_distinct_paths_give_distinct_entropy(self, path_a, path_b):
+        a = derive_seed(0, *path_a)
+        b = derive_seed(0, *path_b)
+        if tuple(path_a) == tuple(path_b):
+            assert a.entropy == b.entropy
+        else:
+            assert a.entropy != b.entropy
+            assert not np.array_equal(a.generate_state(4), b.generate_state(4))

@@ -1,0 +1,312 @@
+"""Tests for the serving substrate: content-addressed cache + batch executor."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ResultCache, ScenarioSpec, cache_key, run_batch, simulate_ensemble
+from repro.core.process import ENGINE_SCHEMA_VERSION, EnsembleResult
+from repro.core.rng import derive_seed
+from repro.experiments.harness import grid, sweep
+from repro.experiments.parallel import parallel_sweep
+from repro.serve.cache import _seed_token
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        dynamics="3-majority",
+        initial="paper-biased",
+        n=4_000,
+        k=4,
+        replicas=6,
+        seed=0,
+        stopping={"rule": "plurality-fraction", "fraction": 0.9},
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def assert_results_identical(a: EnsembleResult, b: EnsembleResult) -> None:
+    """Bit-identity over every field of two ensemble results."""
+    for name in ("rounds", "winners", "converged"):
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.dtype == right.dtype
+        assert np.array_equal(left, right)
+    assert a.plurality_color == b.plurality_color
+    assert a.max_rounds == b.max_rounds
+    assert (a.final_counts is None) == (b.final_counts is None)
+    if a.final_counts is not None:
+        assert a.final_counts.dtype == b.final_counts.dtype
+        assert np.array_equal(a.final_counts, b.final_counts)
+    assert (a.stopped_by is None) == (b.stopped_by is None)
+    if a.stopped_by is not None:
+        assert list(a.stopped_by) == list(b.stopped_by)
+
+
+class TestCacheKey:
+    def test_deterministic_and_content_addressed(self):
+        spec = small_spec()
+        assert cache_key(spec) == cache_key(ScenarioSpec.from_json(spec.to_json()))
+
+    def test_any_field_change_changes_key(self):
+        base = small_spec()
+        for change in (
+            {"seed": 1},
+            {"replicas": 7},
+            {"n": 4_001},
+            {"max_rounds": 99},
+            {"dynamics": "voter"},
+            {"stopping": None},
+        ):
+            assert cache_key(base.with_overrides(**change)) != cache_key(base)
+
+    def test_schema_version_changes_key(self):
+        spec = small_spec()
+        assert cache_key(spec, schema_version=ENGINE_SCHEMA_VERSION + 1) != cache_key(spec)
+
+    def test_seed_override_replaces_spec_seed(self):
+        # Sweeps thread derived streams; the spec's own seed must then be
+        # irrelevant to the key, and the override must be part of it.
+        stream = derive_seed(7, "exp", 0)
+        a = cache_key(small_spec(seed=0), seed=stream)
+        b = cache_key(small_spec(seed=123), seed=stream)
+        c = cache_key(small_spec(seed=0), seed=derive_seed(7, "exp", 1))
+        assert a == b
+        assert a != c
+
+    def test_rejects_uncacheable_seeds(self):
+        with pytest.raises(ValueError, match="not cacheable"):
+            cache_key(small_spec(seed=None))
+        with pytest.raises(ValueError, match="not cacheable"):
+            cache_key(small_spec(), seed=np.random.default_rng(0))
+
+    def test_seed_token_distinguishes_int_and_sequence(self):
+        assert _seed_token(5) != _seed_token(np.random.SeedSequence(5))
+
+    def test_seed_token_includes_pool_size(self):
+        # SeedSequences differing only in pool_size generate different
+        # streams, so they must not share a cache key.
+        a = _seed_token(np.random.SeedSequence(5))
+        b = _seed_token(np.random.SeedSequence(5, pool_size=8))
+        assert a != b
+
+
+class TestResultCache:
+    def test_miss_then_hit_bit_identical(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(spec)
+        assert cache.get(key) is None
+        direct = simulate_ensemble(spec)
+        cache.put(key, direct)
+        hit = cache.get(key)
+        assert hit is not None
+        assert_results_identical(direct, hit)
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        spec = small_spec()
+        writer = ResultCache(tmp_path)
+        writer.fetch_or_run(spec)
+        reader = ResultCache(tmp_path)  # fresh memory layer, same disk
+        hit = reader.get(reader.key_for(spec))
+        assert hit is not None
+        assert_results_identical(simulate_ensemble(spec), hit)
+
+    def test_fetch_or_run_equals_direct_call(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        cold = cache.fetch_or_run(spec)
+        warm = cache.fetch_or_run(spec)
+        direct = simulate_ensemble(spec)
+        assert_results_identical(direct, cold)
+        assert_results_identical(direct, warm)
+
+    def test_schema_version_invalidates(self, tmp_path):
+        # Primary mechanism: the version is hashed into the key, so a new
+        # engine simply never addresses old entries.
+        spec = small_spec()
+        old = ResultCache(tmp_path, schema_version=ENGINE_SCHEMA_VERSION)
+        old.fetch_or_run(spec)
+        new = ResultCache(tmp_path, schema_version=ENGINE_SCHEMA_VERSION + 1)
+        assert new.get(new.key_for(spec)) is None
+
+    def test_stale_manifest_is_removed_not_served(self, tmp_path):
+        # Defence in depth: an entry *addressed* by the right key but whose
+        # manifest records another engine version is deleted, not decoded.
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(spec)
+        cache.fetch_or_run(spec)
+        manifest_path = tmp_path / (key + ".json")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = ENGINE_SCHEMA_VERSION - 1
+        manifest_path.write_text(json.dumps(manifest))
+        fresh = ResultCache(tmp_path)  # bypass the memory layer
+        assert fresh.get(key) is None
+        assert fresh.invalidated == 1
+        assert not manifest_path.exists()
+
+    def test_returned_arrays_are_defensive_copies(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        first = cache.fetch_or_run(spec)
+        first.rounds[:] = -99
+        second = cache.fetch_or_run(spec)
+        assert not np.array_equal(first.rounds, second.rounds)
+        assert_results_identical(simulate_ensemble(spec), second)
+
+    def test_memory_lru_evicts_to_disk_layer(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=1)
+        spec_a, spec_b = small_spec(seed=0), small_spec(seed=1)
+        cache.fetch_or_run(spec_a)
+        cache.fetch_or_run(spec_b)  # evicts spec_a from memory
+        assert len(cache._memory) == 1
+        hit = cache.get(cache.key_for(spec_a))  # re-promoted from disk
+        assert hit is not None
+
+    def test_memory_only_cache(self):
+        cache = ResultCache(None)
+        spec = small_spec()
+        cold = cache.fetch_or_run(spec)
+        warm = cache.fetch_or_run(spec)
+        assert cache.hits == 1
+        assert_results_identical(cold, warm)
+        assert cache.stats()["root"] is None
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.fetch_or_run(small_spec(seed=0))
+        cache.fetch_or_run(small_spec(seed=1))
+        stats = cache.stats()
+        assert stats["disk_entries"] == 2
+        assert stats["disk_bytes"] > 0
+        # Each entry lives in memory *and* on disk but counts once.
+        assert cache.clear() == 2
+        assert cache.stats()["disk_entries"] == 0
+        assert cache.get(cache.key_for(small_spec(seed=0))) is None
+
+    def test_root_tilde_is_expanded(self):
+        cache = ResultCache("~/some-cache")
+        assert "~" not in str(cache.root)
+
+    def test_purge_stale_removes_only_other_versions(self, tmp_path):
+        current = ResultCache(tmp_path)
+        current.fetch_or_run(small_spec(seed=0))
+        old = ResultCache(tmp_path, schema_version=ENGINE_SCHEMA_VERSION - 1)
+        old.fetch_or_run(small_spec(seed=0))  # different key: old-version entry
+        assert current.stats()["disk_entries"] == 2
+        assert current.purge_stale() == 1
+        assert current.stats()["disk_entries"] == 1
+        assert current.get(current.key_for(small_spec(seed=0))) is not None
+
+    def test_in_flight_temp_files_stay_out_of_entry_namespace(self, tmp_path):
+        # stats()/clear() glob "*.json"; writer temp files must not match it.
+        cache = ResultCache(tmp_path)
+        cache.fetch_or_run(small_spec(seed=0))
+        (tmp_path / "tmpabc123.json.tmp").write_text("{}")
+        (tmp_path / "tmpabc123.npz.tmp").write_bytes(b"")
+        assert cache.stats()["disk_entries"] == 1
+        assert cache.clear() == 1
+
+    def test_rejects_junk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(TypeError, match="EnsembleResult"):
+            cache.put("deadbeef", {"not": "a result"})
+        with pytest.raises(ValueError, match="memory_entries"):
+            ResultCache(tmp_path, memory_entries=0)
+
+
+class TestRunBatch:
+    def test_order_preserved_and_bit_identical(self, tmp_path):
+        specs = [small_spec(seed=s) for s in (3, 1, 2, 1, 3)]
+        report = run_batch(specs, cache=ResultCache(tmp_path), processes=1)
+        assert report.requests == 5
+        for spec, result in zip(specs, report.results):
+            assert_results_identical(simulate_ensemble(spec), result)
+
+    def test_dedup_counts(self, tmp_path):
+        specs = [small_spec(seed=0)] * 3 + [small_spec(seed=1)]
+        report = run_batch(specs, cache=ResultCache(tmp_path), processes=1)
+        assert report.misses == 2
+        assert report.deduped == 2
+        assert report.hits == 0
+        assert report.sources == ["run", "dedup", "dedup", "run"]
+
+    def test_warm_batch_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [small_spec(seed=s) for s in (0, 1)]
+        run_batch(specs, cache=cache, processes=1)
+        warm = run_batch(specs, cache=cache, processes=1)
+        assert warm.hits == 2 and warm.misses == 0
+        assert warm.sources == ["cache", "cache"]
+        assert warm.summary()["unique"] == 2
+
+    def test_without_cache_still_dedups(self):
+        report = run_batch([small_spec(), small_spec()], processes=1)
+        assert report.deduped == 1 and report.misses == 1
+
+    def test_rejects_unseeded_specs(self):
+        with pytest.raises(ValueError, match="seed=None"):
+            run_batch([small_spec(seed=None)], processes=1)
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            run_batch(["not a spec"], processes=1)
+
+
+def build_cached_sweep_spec(params):
+    """Module-level builder (parallel_sweep requires picklability)."""
+    return ScenarioSpec(
+        dynamics="3-majority",
+        initial="paper-biased",
+        n=int(params["n"]),
+        k=4,
+        replicas=2,
+        seed=0,
+        stopping={"rule": "plurality-fraction", "fraction": 0.9},
+    )
+
+
+class TestSweepCacheWiring:
+    KW = dict(replicas=5, max_rounds=400, seed=11, experiment_id="cache-wire")
+
+    def test_sweep_warm_equals_cold_equals_uncached(self, tmp_path):
+        points = grid(n=[2_000, 4_000])
+        cache = ResultCache(tmp_path)
+        base = sweep(points, build_cached_sweep_spec, **self.KW)
+        cold = sweep(points, build_cached_sweep_spec, cache=cache, **self.KW)
+        warm = sweep(points, build_cached_sweep_spec, cache=cache, **self.KW)
+        assert cache.misses == 2 and cache.hits == 2
+        for b, c, w in zip(base, cold, warm):
+            assert_results_identical(b.ensemble, c.ensemble)
+            assert_results_identical(b.ensemble, w.ensemble)
+
+    def test_parallel_sweep_shares_the_cache(self, tmp_path):
+        points = grid(n=[2_000, 4_000])
+        cache = ResultCache(tmp_path)
+        seq = sweep(points, build_cached_sweep_spec, cache=cache, **self.KW)
+        par = parallel_sweep(
+            points, build_cached_sweep_spec, cache=cache, processes=1, **self.KW
+        )
+        # The parallel pass is warm: the sequential pass populated the cache.
+        assert cache.hits == 2
+        for s, p in zip(seq, par):
+            assert_results_identical(s.ensemble, p.ensemble)
+
+    def test_cache_hit_cannot_bypass_adversary_guard(self, tmp_path):
+        from repro import TargetedAdversary
+
+        points = grid(n=[2_000])
+        cache = ResultCache(tmp_path)
+        parallel_sweep(points, build_cached_sweep_spec, cache=cache, processes=1, **self.KW)
+        with pytest.raises(ValueError, match="adversary_for"):
+            parallel_sweep(
+                points,
+                build_cached_sweep_spec,
+                cache=cache,
+                processes=1,
+                adversary_for=lambda p: TargetedAdversary(5),
+                **self.KW,
+            )

@@ -218,3 +218,60 @@ class TestRunEnsembleIntegration:
         assert np.array_equal(a.rounds, b.rounds)
         assert np.array_equal(a.winners, b.winners)
         assert np.array_equal(a.final_counts, b.final_counts)
+
+
+class TestStoppingAtRoundZero:
+    """Regression: rules were never evaluated on the initial configuration.
+
+    A rule already satisfied at t=0 used to burn a full round and report
+    ``rounds=1``; now both runners check ``stopping.fired`` before stepping.
+    """
+
+    #: Initial plurality holds 60% — PluralityFractionStop(0.5) is already met.
+    CFG = Configuration.biased(1_000, 3, 600)
+
+    def test_run_process_fires_at_t0(self):
+        res = run_process(
+            ThreeMajority(), self.CFG, rng=0, stopping=PluralityFractionStop(0.5)
+        )
+        assert res.rounds == 0
+        assert res.stopped_by == "plurality-fraction"
+        assert not res.converged
+        assert np.array_equal(res.final_counts, self.CFG.counts)
+        assert len(res.bias_history) == 1  # only the t=0 snapshot
+
+    def test_zero_round_budget_fires_at_t0(self):
+        res = run_process(
+            ThreeMajority(), self.CFG, rng=0, stopping=RoundBudgetStop(0)
+        )
+        assert res.rounds == 0
+        assert res.stopped_by == "round-budget"
+
+    def test_monochromatic_absorption_wins_over_rules_at_t0(self):
+        mono = Configuration([0, 50, 0])
+        res = run_process(
+            ThreeMajority(), mono, rng=0, stopping=PluralityFractionStop(0.1)
+        )
+        assert res.converged
+        assert res.stopped_by == "monochromatic"
+        assert res.rounds == 0
+
+    def test_batched_and_unbatched_ensembles_agree_at_t0(self):
+        kw = dict(stopping=PluralityFractionStop(0.5), max_rounds=100)
+        batched = run_ensemble(ThreeMajority(), self.CFG, 5, rng=0, **kw)
+        unbatched = run_ensemble(ThreeMajority(), self.CFG, 5, rng=0, batch=False, **kw)
+        for ens in (batched, unbatched):
+            assert np.all(ens.rounds == 0)
+            assert all(label == "plurality-fraction" for label in ens.stopped_by)
+            assert not np.any(ens.converged)
+            assert np.array_equal(ens.final_counts, np.tile(self.CFG.counts, (5, 1)))
+
+    def test_rule_not_met_at_t0_still_runs(self):
+        res = run_process(
+            ThreeMajority(),
+            Configuration.biased(10_000, 4, 1_000),
+            rng=0,
+            stopping=PluralityFractionStop(0.99),
+            max_rounds=5_000,
+        )
+        assert res.rounds > 0
