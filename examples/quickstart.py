@@ -3,11 +3,13 @@
 
 This walks the three layers of the public API:
 
-1. declare a :class:`repro.ScenarioSpec` — dynamics, initial workload and
-   run knobs as *data*, using registry names (``repro scenarios`` lists
-   them: ``"3-majority"``, ``"h-plurality"``, ``"paper-biased"``, ...);
-2. run a single trajectory through :func:`repro.simulate` (with
-   trajectory recording) and inspect the three proof phases;
+1. declare a :class:`repro.ScenarioSpec` — dynamics, initial workload,
+   run knobs *and what to observe* (the ``record`` field names metrics
+   from ``repro metrics``) as data, using registry names
+   (``repro scenarios`` lists them: ``"3-majority"``, ``"h-plurality"``,
+   ``"paper-biased"``, ...);
+2. run a single trajectory through :func:`repro.simulate`, read the
+   recorded :class:`repro.TraceSet` and inspect the three proof phases;
 3. run a replica ensemble through :func:`repro.simulate_ensemble` for
    statistics, compare the measured time with the theorem's λ log n
    prediction, and round-trip the scenario through JSON — the same file
@@ -34,26 +36,29 @@ def main() -> None:
         k=k,
         replicas=64,
         seed=0,
+        record=["counts", "bias"],  # observation is part of the scenario
     )
     config = spec.resolve().initial
     print(f"n={n}, k={k}, initial bias s={config.bias} "
           f"(plurality holds {config.plurality_count} agents)")
 
     # --- one trajectory -------------------------------------------------
-    result = simulate(spec, record_trajectory=True)
+    result = simulate(spec)
     assert result.plurality_won
     print(f"\nconsensus on color {result.winner} after {result.rounds} rounds "
           f"(stopped by: {result.stopped_by})")
 
+    trajectory = result.trace.replica(0, "counts")
     print("\nproof phases traversed (Lemmas 3 → 4 → 5):")
-    for seg in phase_segments(result.trajectory):
+    for seg in phase_segments(trajectory):
         print(f"  rounds {seg.start_round:>3}..{seg.end_round:<3}  {seg.phase}")
 
+    bias_series = result.trace.replica(0, "bias")
     print("\nbias trajectory (log scale):")
-    rounds = list(range(result.bias_history.size))
+    rounds = list(range(bias_series.size))
     print(
         ascii_plot(
-            {"bias": (rounds, result.bias_history.tolist())},
+            {"bias": (rounds, bias_series.tolist())},
             width=60,
             height=12,
             logy=True,

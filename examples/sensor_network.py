@@ -2,14 +2,16 @@
 """Plurality consensus on physical topologies (beyond the paper's clique).
 
 A sensor-network scenario: devices can only poll radio neighbors, not the
-whole network.  The paper analyses the clique; this example uses the
-agent-level graph substrate to ask how the same 3-sample rule behaves on
-realistic topologies — the natural "what if" a systems reader asks next.
+whole network.  The paper analyses the clique; this example asks how the
+same 3-sample rule behaves on realistic topologies — the natural
+"what if" a systems reader asks next.
 
-We compare clique, random-regular (expander-like), torus (planar
-deployment) and cycle (worst case) at equal n and equal initial bias, and
-also demonstrate a known failure mode: on a barbell graph (two dense
-communities joined by a bridge) local majorities deadlock for a long time.
+The clique baseline is a declarative :class:`repro.ScenarioSpec` with a
+``record=`` observation spec: the returned :class:`repro.TraceSet` traces
+support size and distance-to-consensus per round, replacing any bespoke
+measurement loop.  The graph topologies (random-regular, torus, cycle,
+barbell) then run on the agent-level graph substrate at equal n and equal
+initial bias.
 
 Run:  python examples/sensor_network.py
 """
@@ -18,19 +20,41 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Configuration
+from repro import Configuration, ScenarioSpec, simulate_ensemble
+from repro.analysis import trace_round_means
 from repro.graphs import (
     GraphPluralityProcess,
     barbell,
-    clique,
     cycle,
     random_coloring,
     random_regular,
     torus,
 )
 
+N, K, BIAS = 1_024, 4, 200
+REPLICAS, MAX_ROUNDS = 8, 40_000
+
+
+def clique_baseline() -> tuple[float, float, object]:
+    """The paper's clique, as data: spec + recorded observation."""
+    spec = ScenarioSpec(
+        dynamics="3-majority",
+        initial="biased",
+        initial_params={"bias": BIAS},
+        n=N,
+        k=K,
+        replicas=REPLICAS,
+        max_rounds=MAX_ROUNDS,
+        seed=1,
+        record=["support-size", "tv-monochromatic"],  # observe, declaratively
+    )
+    ens = simulate_ensemble(spec)
+    med = float(np.median(np.where(ens.converged, ens.rounds, MAX_ROUNDS)))
+    return ens.plurality_win_rate, med, ens.trace
+
 
 def measure(topo, config: Configuration, replicas: int, max_rounds: int, seed: int):
+    """Win rate + median rounds of the 3-sample rule on one graph topology."""
     wins, rounds = 0, []
     proc = GraphPluralityProcess(topo, h=3)
     for rep in range(replicas):
@@ -43,25 +67,39 @@ def measure(topo, config: Configuration, replicas: int, max_rounds: int, seed: i
 
 
 def main() -> None:
-    n = 1_024
-    config = Configuration.biased(n, 4, 200)
-    print(f"{n} sensors, 4 readings, initial bias {config.bias}\n")
+    config = Configuration.biased(N, K, BIAS)
+    print(f"{N} sensors, {K} readings, initial bias {config.bias}\n")
 
+    # --- the clique, declaratively, with a recorded trace ----------------
+    rate, med, trace = clique_baseline()
+    print(f"clique baseline (ScenarioSpec + record=): win rate {rate:.2f}, "
+          f"median rounds {med:.0f}")
+    support = trace_round_means(trace, "support-size")
+    tv = trace_round_means(trace, "tv-monochromatic")
+    print("  mean colors alive / TV distance to consensus, per round:")
+    for t in range(0, trace.n_rounds, max(1, trace.n_rounds // 6)):
+        print(f"    round {int(support['rounds'][t]):>3}: "
+              f"{support['mean'][t]:.2f} colors, TV {tv['mean'][t]:.3f} "
+              f"({int(support['replicas'][t])} replicas still running)")
+
+    # --- physical topologies (agent-level graph substrate) ---------------
     topologies = [
-        ("clique (paper)", clique(n)),
-        ("random 8-regular", random_regular(n, 8, seed=0)),
+        ("random 8-regular", random_regular(N, 8, seed=0)),
         ("torus 32x32", torus(32, 32)),
-        ("cycle", cycle(n)),
+        ("cycle", cycle(N)),
     ]
     header = f"{'topology':>18} | {'plurality wins':>14} | {'median rounds':>13}"
+    print()
     print(header)
     print("-" * len(header))
+    print(f"{'clique (paper)':>18} | {rate:>14.2f} | {med:>13.0f}")
     for name, topo in topologies:
-        rate, med = measure(topo, config, replicas=8, max_rounds=40_000, seed=1)
-        print(f"{name:>18} | {rate:>14.2f} | {med:>13.0f}")
+        t_rate, t_med = measure(topo, config, replicas=REPLICAS,
+                                max_rounds=MAX_ROUNDS, seed=1)
+        print(f"{name:>18} | {t_rate:>14.2f} | {t_med:>13.0f}")
 
-    # Community deadlock on the barbell.
-    m = n // 2
+    # --- community deadlock on the barbell --------------------------------
+    m = N // 2
     topo = barbell(m)
     colors = np.zeros(2 * m, dtype=np.int64)
     colors[m:] = 1  # each community starts internally unanimous

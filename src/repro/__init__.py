@@ -27,6 +27,7 @@ Quickstart
 from .core import (
     ADVERSARIES,
     DYNAMICS,
+    METRICS,
     STOPPING,
     WORKLOADS,
     Adversary,
@@ -39,8 +40,12 @@ from .core import (
     EnsembleResult,
     HPlurality,
     MedianDynamics,
+    Metric,
+    MetricThresholdStop,
     MonochromaticStop,
     PluralityFractionStop,
+    RecordSpec,
+    TraceSet,
     PairwiseProtocol,
     PairwiseVoter,
     PopulationProcess,
@@ -77,7 +82,7 @@ from .core import (
 from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
 from .serve import BatchReport, ResultCache, cache_key, run_batch
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ADVERSARIES",

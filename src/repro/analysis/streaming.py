@@ -7,13 +7,27 @@ every outcome wastes memory when only summary statistics are reported.
 :class:`StreamingQuantiles` keeps a bounded uniform reservoir for
 approximate quantiles — both mergeable, so chunked or multiprocess
 producers combine exactly.
+
+The module also consumes the columnar
+:class:`~repro.core.metrics.TraceSet` traces the runners emit:
+:func:`trace_moments` accumulates one recorded round across replicas and
+:func:`trace_round_means` reduces a whole trace to per-round mean/stderr
+series, honouring each replica's valid prefix (``n_recorded``) so
+early-stopped replicas never contribute padding.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["StreamingMoments", "StreamingQuantiles"]
+from ..core.metrics import TraceSet
+
+__all__ = [
+    "StreamingMoments",
+    "StreamingQuantiles",
+    "trace_moments",
+    "trace_round_means",
+]
 
 
 class StreamingMoments:
@@ -122,3 +136,59 @@ class StreamingQuantiles:
 
     def median(self) -> float:
         return self.quantile(0.5)
+
+
+def _resolve_round_index(trace: TraceSet, round_index: int) -> int:
+    T = trace.n_rounds
+    index = round_index + T if round_index < 0 else round_index
+    if not 0 <= index < T:
+        raise IndexError(f"round_index {round_index} out of range for {T} recorded rounds")
+    return index
+
+
+def trace_moments(trace: TraceSet, name: str, round_index: int = -1) -> StreamingMoments:
+    """Cross-replica moments of one recorded metric at one recorded round.
+
+    Only replicas whose valid prefix covers ``round_index`` contribute
+    (``trace.n_recorded`` — zero padding past a replica's stopping round
+    never enters the accumulator).  Scalar metrics accumulate as
+    dimension 1, vector metrics as dimension ``k``; the batch is pushed in
+    one Chan merge, so the mean of a full-column slice is bit-identical to
+    ``values.mean(axis=0)``.
+    """
+    index = _resolve_round_index(trace, round_index)
+    values = trace[name][:, index]
+    valid = trace.n_recorded > index
+    block = values[valid].astype(np.float64)
+    if block.ndim == 1:
+        block = block[:, None]
+    moments = StreamingMoments(block.shape[1])
+    moments.push_batch(block)
+    return moments
+
+
+def trace_round_means(trace: TraceSet, name: str) -> dict[str, np.ndarray]:
+    """Per-round mean/stderr series of a scalar metric across replicas.
+
+    Returns ``{"rounds", "mean", "stderr", "replicas"}`` arrays of length
+    ``T`` (``stderr`` is NaN where fewer than two replicas were still
+    recording).  The masked reduction is exactly what every experiment's
+    bespoke "average the curves, drop finished replicas" loop used to do.
+    """
+    values = trace[name]
+    if values.ndim != 2:
+        raise ValueError(f"trace_round_means needs a scalar metric, {name!r} is vector")
+    mask = trace.valid_mask()
+    counts = mask.sum(axis=0)
+    floats = values.astype(np.float64)
+    safe = np.maximum(counts, 1)
+    mean = np.where(counts > 0, (floats * mask).sum(axis=0) / safe, np.nan)
+    dev = np.where(mask, floats - mean[None, :], 0.0)
+    var = np.where(counts > 1, (dev**2).sum(axis=0) / np.maximum(counts - 1, 1), np.nan)
+    stderr = np.sqrt(var / safe)
+    return {
+        "rounds": trace.rounds.copy(),
+        "mean": mean,
+        "stderr": stderr,
+        "replicas": counts.astype(np.int64),
+    }

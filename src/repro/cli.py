@@ -7,9 +7,11 @@ Usage (installed as ``repro`` or via ``python -m repro.cli``)::
     repro run E2 --scale small --seed 0
     repro run all --scale smoke --csv-dir out/
     repro scenarios
+    repro metrics
     repro simulate scenario.json --json
     repro simulate --dynamics 3-majority --initial paper-biased \\
-        --n 100000 --k 8 --replicas 32 --seed 0
+        --n 100000 --k 8 --replicas 32 --seed 0 \\
+        --record bias,plurality-fraction --record-every 1
     repro batch specs.json --json
     repro cache stats
     repro cache clear
@@ -19,9 +21,11 @@ writes one CSV per experiment for downstream plotting.  ``simulate``
 executes one declarative :class:`~repro.scenario.ScenarioSpec` — from a
 JSON file or assembled from inline flags — and ``scenarios`` lists every
 registered dynamics/workload/adversary/stopping-rule name a spec may
-reference.  ``batch`` pushes a JSON array of scenarios through the
-:mod:`repro.serve` substrate (content-addressed result cache + sharded
-executor); ``cache`` inspects or clears that cache.
+reference; ``metrics`` lists the per-round observables a spec's
+``record`` field (or ``--record``) may name.  ``batch`` pushes a JSON
+array of scenarios through the :mod:`repro.serve` substrate
+(content-addressed result cache + sharded executor, recorded TraceSets
+included); ``cache`` inspects or clears that cache.
 """
 
 from __future__ import annotations
@@ -75,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
+    metrics = sub.add_parser(
+        "metrics", help="list registered per-round metrics a spec may record"
+    )
+    metrics.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     sim = sub.add_parser(
         "simulate", help="run a declarative scenario (JSON file or inline flags)"
     )
@@ -97,6 +106,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=_json_flag,
         default=None,
         help='stopping-rule JSON, e.g. \'{"rule": "plurality-fraction", "fraction": 0.9}\'',
+    )
+    sim.add_argument(
+        "--record",
+        default=None,
+        help="comma-separated metric names to trace per round (see `repro metrics`)",
+    )
+    sim.add_argument(
+        "--record-every",
+        type=int,
+        default=None,
+        help="record every m-th round (default 1; needs --record or a file record)",
+    )
+    sim.add_argument(
+        "--counts-table-cap",
+        type=int,
+        default=None,
+        help=(
+            "override the h-plurality auto-engine composition-table row cap "
+            "(default 100000; merged into dynamics_params)"
+        ),
     )
     sim.add_argument("--json", action="store_true", help="emit machine-readable result JSON")
     sim.add_argument("--save-spec", default=None, help="also write the resolved spec JSON here")
@@ -147,6 +176,29 @@ def _run_one(experiment_id: str, scale: str, seed: int, csv_dir: str | None) -> 
     print()
 
 
+def _apply_observation_flags(spec, args: argparse.Namespace):
+    """Fold --record/--record-every/--counts-table-cap into the spec.
+
+    These are run-shaping overrides (like --seed), accepted both inline
+    and on top of a scenario file.
+    """
+    if args.record is not None:
+        names = [name.strip() for name in args.record.split(",") if name.strip()]
+        if not names:
+            raise SystemExit("--record needs at least one metric name (see `repro metrics`)")
+        every = args.record_every if args.record_every is not None else 1
+        spec = spec.with_overrides(record={"metrics": names, "every": every})
+    elif args.record_every is not None:
+        if spec.record is None:
+            raise SystemExit("--record-every needs --record or a record in the scenario file")
+        spec = spec.with_overrides(record={**spec.record, "every": args.record_every})
+    if args.counts_table_cap is not None:
+        spec = spec.with_overrides(
+            dynamics_params={**spec.dynamics_params, "counts_table_cap": args.counts_table_cap}
+        )
+    return spec
+
+
 def _spec_from_args(args: argparse.Namespace):
     from .scenario import ScenarioSpec
 
@@ -177,10 +229,11 @@ def _spec_from_args(args: argparse.Namespace):
             flags = ", ".join("--" + name.replace("_", "-") for name in clashes)
             raise SystemExit(
                 f"{flags} cannot be combined with a scenario file; "
-                "edit the file or drop the flags (only --replicas/--max-rounds/--seed "
-                "override a file)"
+                "edit the file or drop the flags (only --replicas/--max-rounds/--seed/"
+                "--record/--record-every/--counts-table-cap override a file)"
             )
-        return spec.with_overrides(**overrides) if overrides else spec
+        spec = spec.with_overrides(**overrides) if overrides else spec
+        return _apply_observation_flags(spec, args)
     if args.dynamics is None or args.n is None or args.k is None:
         raise SystemExit("inline scenarios need at least --dynamics, --n and --k")
     fields = dict(
@@ -196,7 +249,7 @@ def _spec_from_args(args: argparse.Namespace):
     )
     if args.initial is not None:
         fields["initial"] = args.initial
-    return ScenarioSpec(**fields)
+    return _apply_observation_flags(ScenarioSpec(**fields), args)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -217,6 +270,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "convergence_rate": ens.convergence_rate,
         "rounds": summary,
         "stop_reasons": ens.stop_reasons(),
+        "trace": _trace_summary(ens.trace),
         "wall_seconds": elapsed,
     }
     if args.json:
@@ -240,8 +294,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     reasons = ", ".join(f"{name}×{count}" for name, count in sorted(ens.stop_reasons().items()))
     print(f"stopped by: {reasons}")
+    if ens.trace is not None:
+        trace = ens.trace
+        print(
+            f"recorded: {', '.join(trace.metrics)} "
+            f"({trace.n_rounds} rounds, every={trace.every}, "
+            f"digest {trace.digest()[:12]})"
+        )
     print(f"completed in {elapsed:.2f}s")
     return 0
+
+
+def _trace_summary(trace) -> dict | None:
+    """JSON-able TraceSet summary (metrics, shape, bit-identity digest)."""
+    if trace is None:
+        return None
+    return {
+        "metrics": list(trace.metrics),
+        "every": trace.every,
+        "rounds_recorded": trace.n_rounds,
+        "replicas": trace.replicas,
+        "digest": trace.digest(),
+    }
 
 
 def _open_cache(cache_dir: str | None):
@@ -293,6 +367,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     for name, value in result.rounds_summary().items()
                 },
                 "stop_reasons": result.stop_reasons(),
+                "trace": _trace_summary(result.trace),
             }
         )
     if args.json:
@@ -338,8 +413,34 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(as_json: bool) -> int:
+    from .core.registry import METRICS
+
+    import repro.core.metrics  # noqa: F401 — import registers METRICS
+
+    if as_json:
+        import numpy as np
+
+        payload = {}
+        for name, entry in METRICS.items():
+            metric = entry.factory()
+            payload[name] = {
+                "summary": entry.summary,
+                "dtype": np.dtype(metric.dtype).name,
+                "vector": bool(metric.vector),
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("metrics (usable in ScenarioSpec record= / repro simulate --record):")
+    for name, entry in METRICS.items():
+        metric = entry.factory()
+        shape = "(k,)" if metric.vector else "scalar"
+        print(f"  {name:20s} {shape:7s} {entry.summary}")
+    return 0
+
+
 def _cmd_scenarios(as_json: bool) -> int:
-    from .core.registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS
+    from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS
     from .scenario import ScenarioSpec
 
     ScenarioSpec.registries()  # force registration of every component
@@ -351,6 +452,7 @@ def _cmd_scenarios(as_json: bool) -> int:
         ("workloads (initial)", WORKLOADS),
         ("adversaries", ADVERSARIES),
         ("stopping rules", STOPPING),
+        ("metrics (record)", METRICS),
     ):
         print(f"{title}:")
         for name, entry in registry.items():
@@ -391,6 +493,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "scenarios":
         return _cmd_scenarios(args.json)
+    if args.command == "metrics":
+        return _cmd_metrics(args.json)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "batch":

@@ -11,6 +11,7 @@ from .config import Configuration
 from .dynamics import CountsDynamics, Dynamics
 from .majority import HPlurality, ThreeMajority, TwoSampleUniform, three_majority_law
 from .median import MedianDynamics
+from .metrics import Metric, RecordSpec, TraceSet, as_record_spec, stack_traces
 from .population import (
     PairwiseProtocol,
     PairwiseVoter,
@@ -19,11 +20,12 @@ from .population import (
     UndecidedPopulation,
 )
 from .process import ENGINE_SCHEMA_VERSION, EnsembleResult, ProcessResult, run_ensemble, run_process
-from .registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS, Registry
+from .registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS, Registry
 from .rng import derive_seed, make_rng, spawn_streams, stream_iter
 from .stopping import (
     AnyOfStop,
     BiasThresholdStop,
+    MetricThresholdStop,
     MonochromaticStop,
     PluralityFractionStop,
     RoundBudgetStop,
@@ -61,7 +63,10 @@ __all__ = [
     "ENGINE_SCHEMA_VERSION",
     "EnsembleResult",
     "HPlurality",
+    "METRICS",
     "MedianDynamics",
+    "Metric",
+    "MetricThresholdStop",
     "MonochromaticStop",
     "PairwiseProtocol",
     "PairwiseVoter",
@@ -71,11 +76,13 @@ __all__ = [
     "PluralityFractionStop",
     "ProcessResult",
     "RandomAdversary",
+    "RecordSpec",
     "Registry",
     "ReviveAdversary",
     "RoundBudgetStop",
     "STOPPING",
     "StoppingRule",
+    "TraceSet",
     "TargetedAdversary",
     "ThreeInputRule",
     "ThreeMajority",
@@ -86,6 +93,7 @@ __all__ = [
     "UndecidedState",
     "Voter",
     "all_position_rules",
+    "as_record_spec",
     "derive_seed",
     "first_rule",
     "majority_rule",
@@ -98,6 +106,7 @@ __all__ = [
     "run_process",
     "skewed_rule",
     "spawn_streams",
+    "stack_traces",
     "stopping_from_dict",
     "stream_iter",
     "three_input_rule",

@@ -197,7 +197,16 @@ class HPlurality(CountsDynamics):
         but slow — raises only for ``h > 5``); ``"agent"`` — explicit
         per-agent sampling, O(n·h) per round; ``"auto"`` (default) — counts
         whenever the composition table is comfortably small
-        (:attr:`_MAX_AUTO_COMPOSITIONS` rows), agent-level otherwise.
+        (``counts_table_cap`` rows), agent-level otherwise.
+    counts_table_cap:
+        Row budget the ``"auto"`` engine allows the composition table
+        before falling back to agent-level stepping.  Defaults to
+        :attr:`_MAX_AUTO_COMPOSITIONS` (100k rows); raise it to keep large
+        ``(h, k)`` points on the exact counts engine (correct at any size
+        — oversized tables stream in blocks, trading memory for time).
+        Travels through a :class:`~repro.scenario.ScenarioSpec` as
+        ``dynamics_params={"h": ..., "counts_table_cap": ...}`` or via
+        ``repro simulate --counts-table-cap``.
     """
 
     name = "h-plurality"
@@ -211,13 +220,18 @@ class HPlurality(CountsDynamics):
     #: larger laws are evaluated by streaming composition blocks instead.
     _MAX_TABLE_CELLS = 2**24
 
-    def __init__(self, h: int, engine: str = "auto"):
+    def __init__(self, h: int, engine: str = "auto", counts_table_cap: int | None = None):
         if h < 1:
             raise ValueError(f"h must be >= 1, got {h}")
         self.h = int(h)
         self.sample_size = self.h
         self.name = f"{h}-plurality"
         self.engine = validate_engine(engine)
+        if counts_table_cap is not None:
+            counts_table_cap = int(counts_table_cap)
+            if counts_table_cap < 1:
+                raise ValueError(f"counts_table_cap must be >= 1, got {counts_table_cap}")
+        self.counts_table_cap = counts_table_cap
         self._tables: dict[int, _CompositionTable] = {}
 
     # -- engine selection ------------------------------------------------------
@@ -243,10 +257,8 @@ class HPlurality(CountsDynamics):
             return "counts"
         if self.h <= 3:
             return "counts"
-        if (
-            self.h <= self._MAX_COUNTS_H
-            and self.composition_count(self.h, k) <= self._MAX_AUTO_COMPOSITIONS
-        ):
+        cap = self.counts_table_cap if self.counts_table_cap is not None else self._MAX_AUTO_COMPOSITIONS
+        if self.h <= self._MAX_COUNTS_H and self.composition_count(self.h, k) <= cap:
             return "counts"
         return "agent"
 

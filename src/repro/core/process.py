@@ -10,12 +10,21 @@ exactly the round split of Corollary 4's proof::
 :func:`run_ensemble` advances many independent replicas in lock-step through
 the batched step kernels — the workhorse of every experiment, giving
 empirical success probabilities and convergence-time distributions.
+
+Observation is declarative (see :mod:`repro.core.metrics`): both runners
+take ``record=`` — metric names, a :class:`~repro.core.metrics.RecordSpec`
+or its serialized dict — and emit a columnar
+:class:`~repro.core.metrics.TraceSet` (``result.trace``), computed
+vectorized across replicas in the batched path.  Metrics never consume
+randomness, so recording cannot perturb a trajectory.  The legacy
+``bias_history`` / ``plurality_history`` / ``trajectory`` fields and the
+``record_trajectory=`` flag survive as deprecation shims over the trace.
 """
 
 from __future__ import annotations
 
 import warnings
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,8 +32,8 @@ import numpy as np
 from .adversary import Adversary
 from .config import Configuration
 from .dynamics import Dynamics
+from .metrics import RecordSpec, TraceRecorder, TraceSet, as_record_spec, stack_traces
 from .rng import make_rng, spawn_streams
-from .samplers import top_two
 from .stopping import (
     BUDGET_EXHAUSTED,
     AnyOfStop,
@@ -48,10 +57,16 @@ __all__ = [
 #: results from an older engine are invalidated instead of served.
 #: History: 1 = PR 2 contract; 2 = delimited ``derive_seed`` hashing,
 #: t=0 stopping-rule evaluation, supported-only ``BalancingAdversary``.
+#: (PR 4's metric recording left the contract at 2: metrics never consume
+#: randomness, so counts/rounds/winners are unchanged at equal seed.)
 ENGINE_SCHEMA_VERSION = 2
 
 #: ``stopped_by`` label for replicas absorbed in a monochromatic state.
 _MONO = "monochromatic"
+
+#: What :func:`run_process` records when no ``record=`` is given — the
+#: legacy always-on O(k)-per-round histories, expressed as metrics.
+DEFAULT_PROCESS_RECORD = RecordSpec(metrics=("bias", "plurality-count"), every=1)
 
 
 def _resolve_stopping(
@@ -75,6 +90,34 @@ def _resolve_stopping(
     return stopping
 
 
+def _resolve_record(
+    record: RecordSpec | Mapping | Sequence[str] | str | None,
+    record_trajectory: bool,
+    *,
+    default: RecordSpec | None,
+) -> RecordSpec | None:
+    """Normalise ``record=`` and fold in the deprecated trajectory flag."""
+    spec = as_record_spec(record, default=default)
+    if record_trajectory:
+        warnings.warn(
+            "record_trajectory is deprecated; pass record=[\"counts\", ...] and read "
+            "result.trace[\"counts\"] instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        spec = (spec if spec is not None else RecordSpec()).with_metric("counts")
+    return spec
+
+
+def _deprecated_series(trace: TraceSet | None, name: str, attribute: str) -> np.ndarray:
+    if trace is None or name not in trace:
+        raise ValueError(
+            f"{attribute} needs the {name!r} metric in the result trace; it is only "
+            f"available under the default record (or any record= including {name!r})"
+        )
+    return trace.replica(0, name)
+
+
 @dataclass
 class ProcessResult:
     """Outcome of a single trajectory.
@@ -95,12 +138,10 @@ class ProcessResult:
     final_counts:
         Configuration at the last executed round (color slots only; any
         extra dynamics state is dropped).
-    trajectory:
-        Per-round count snapshots, shape ``(rounds+1, k)``; only when
-        recording was requested.
-    bias_history / plurality_history:
-        Per-round ``s(c)`` and max-count series (always recorded; O(1)
-        per round).
+    trace:
+        Columnar :class:`~repro.core.metrics.TraceSet` (one replica) with
+        the recorded metrics; by default ``bias`` and ``plurality-count``
+        every round.
     stopped_by:
         Why the run ended: ``"monochromatic"`` (absorbed), the name of the
         stopping rule that fired, or ``"max-rounds"`` when ``max_rounds``
@@ -112,15 +153,49 @@ class ProcessResult:
     rounds: int
     plurality_color: int
     final_counts: np.ndarray
-    bias_history: np.ndarray
-    plurality_history: np.ndarray
-    trajectory: np.ndarray | None = None
+    trace: TraceSet | None = None
     stopped_by: str | None = None
 
     @property
     def plurality_won(self) -> bool:
         """True iff the process converged to the initial plurality color."""
         return self.converged and self.winner == self.plurality_color
+
+    # -- deprecation shims over the trace -------------------------------------
+
+    @property
+    def bias_history(self) -> np.ndarray:
+        """Deprecated alias for ``trace["bias"]`` (the per-round bias series)."""
+        warnings.warn(
+            "ProcessResult.bias_history is deprecated; read result.trace[\"bias\"]",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_series(self.trace, "bias", "bias_history")
+
+    @property
+    def plurality_history(self) -> np.ndarray:
+        """Deprecated alias for ``trace["plurality-count"]``."""
+        warnings.warn(
+            "ProcessResult.plurality_history is deprecated; read "
+            "result.trace[\"plurality-count\"]",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_series(self.trace, "plurality-count", "plurality_history")
+
+    @property
+    def trajectory(self) -> np.ndarray | None:
+        """Deprecated alias for ``trace["counts"]`` (None when not recorded)."""
+        warnings.warn(
+            "ProcessResult.trajectory is deprecated; record=[\"counts\"] and read "
+            "result.trace[\"counts\"]",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self.trace is None or "counts" not in self.trace:
+            return None
+        return self.trace.replica(0, "counts")
 
 
 @dataclass
@@ -142,6 +217,10 @@ class EnsembleResult:
     #: Per-replica stop labels (object array of str, same vocabulary as
     #: ``ProcessResult.stopped_by``); None when the producer predates them.
     stopped_by: np.ndarray | None = field(repr=False, default=None)
+    #: Columnar metric traces across all replicas (see
+    #: :class:`~repro.core.metrics.TraceSet`); None unless ``record=`` was
+    #: passed — the un-recorded hot path allocates nothing.
+    trace: TraceSet | None = field(repr=False, default=None)
 
     @property
     def replicas(self) -> int:
@@ -205,6 +284,7 @@ def run_process(
     *,
     max_rounds: int = 1_000_000,
     adversary: Adversary | None = None,
+    record: RecordSpec | Mapping | Sequence[str] | str | None = None,
     record_trajectory: bool = False,
     stopping: StoppingRule | Mapping | None = None,
     stop_at_plurality_fraction: float | None = None,
@@ -214,6 +294,14 @@ def run_process(
 
     Parameters
     ----------
+    record:
+        Which metrics to observe per round (names, a
+        :class:`~repro.core.metrics.RecordSpec`, or its dict form).  The
+        default records ``bias`` and ``plurality-count`` every round — the
+        legacy histories, now expressed declaratively.  The columnar
+        result lands in ``ProcessResult.trace``.
+    record_trajectory:
+        Deprecated spelling of adding ``"counts"`` to ``record``.
     stopping:
         Optional early-stop rule (a :class:`~repro.core.stopping.StoppingRule`
         or its serialized dict), checked on the color counts after every
@@ -224,6 +312,7 @@ def run_process(
         ``stopping=PluralityFractionStop(fraction)``; kept as a shim.
     """
     stopping = _resolve_stopping(stopping, stop_at_plurality_fraction)
+    record = _resolve_record(record, record_trajectory, default=DEFAULT_PROCESS_RECORD)
     generator = make_rng(rng)
     state, k = _prepare_state(dynamics, initial)
     n = int(state.sum())
@@ -231,19 +320,8 @@ def run_process(
         raise ValueError("cannot run a process with zero agents")
     plurality_color = int(np.argmax(state[:k]))
 
-    bias_hist: list[int] = []
-    plur_hist: list[int] = []
-    traj: list[np.ndarray] = []
-
-    def snapshot() -> None:
-        # O(k) two-max scan — no O(k log k) sort of the configuration.
-        c1, c2 = top_two(state[:k])
-        plur_hist.append(c1)
-        bias_hist.append(c1 - max(c2, 0))
-        if record_trajectory:
-            traj.append(state[:k].copy())
-
-    snapshot()
+    recorder = TraceRecorder(record, n=n, k=k, replicas=1)
+    recorder.observe(0, state[None, :k])
     rounds = 0
     converged = _is_monochromatic(state, k)
     stopped_by = _MONO if converged else None
@@ -261,7 +339,7 @@ def run_process(
             else:
                 state = adversary.corrupt(state, generator)
         rounds += 1
-        snapshot()
+        recorder.observe(rounds, state[None, :k])
         converged = _is_monochromatic(state, k)
         if converged:
             stopped_by = _MONO
@@ -275,9 +353,7 @@ def run_process(
         rounds=rounds,
         plurality_color=plurality_color,
         final_counts=state[:k].copy(),
-        bias_history=np.asarray(bias_hist, dtype=np.int64),
-        plurality_history=np.asarray(plur_hist, dtype=np.int64),
-        trajectory=np.asarray(traj) if record_trajectory else None,
+        trace=recorder.finish(),
         stopped_by=stopped_by if stopped_by is not None else BUDGET_EXHAUSTED,
     )
 
@@ -289,6 +365,7 @@ def run_ensemble(
     *,
     max_rounds: int = 1_000_000,
     adversary: Adversary | None = None,
+    record: RecordSpec | Mapping | Sequence[str] | str | None = None,
     stopping: StoppingRule | Mapping | None = None,
     rng: int | np.random.Generator | None = None,
     batch: bool = True,
@@ -305,10 +382,18 @@ def run_ensemble(
     :class:`numpy.random.Generator` spawns the per-replica streams from
     its own seed sequence, so the unbatched path is reproducible for every
     accepted ``rng`` type.
+
+    With ``record=``, metric values are computed *vectorized across the
+    live replicas* each recorded round and returned as a columnar
+    :class:`~repro.core.metrics.TraceSet` in ``EnsembleResult.trace``
+    (replicas that retire early keep zero padding past their stop round;
+    ``trace.n_recorded`` marks each replica's valid prefix).  Without
+    ``record=`` no trace machinery runs at all.
     """
     if replicas <= 0:
         raise ValueError("need at least one replica")
     stopping = _resolve_stopping(stopping, None)
+    record = _resolve_record(record, False, default=None)
     state0, k = _prepare_state(dynamics, initial)
     n = int(state0.sum())
     plurality_color = int(np.argmax(state0[:k]))
@@ -321,6 +406,10 @@ def run_ensemble(
                 initial,
                 max_rounds=max_rounds,
                 adversary=adversary,
+                # An explicitly empty record skips run_process's default
+                # bias/plurality bookkeeping: the per-replica traces are
+                # discarded below when no record was requested.
+                record=record if record is not None else RecordSpec(),
                 stopping=stopping,
                 rng=stream,
             )
@@ -336,6 +425,7 @@ def run_ensemble(
             max_rounds=max_rounds,
             final_counts=np.stack([r.final_counts for r in results]),
             stopped_by=np.array([r.stopped_by for r in results], dtype=object),
+            trace=stack_traces([r.trace for r in results]) if record is not None else None,
         )
 
     generator = make_rng(rng)
@@ -345,6 +435,9 @@ def run_ensemble(
     converged = np.zeros(replicas, dtype=bool)
     final_counts = np.tile(state0[:k], (replicas, 1))
     stopped_by = np.full(replicas, None, dtype=object)
+    recorder = (
+        TraceRecorder(record, n=n, k=k, replicas=replicas) if record is not None else None
+    )
 
     def absorb(live_idx: np.ndarray, live_states: np.ndarray, t: int) -> np.ndarray:
         colored = live_states[:, :k]
@@ -372,6 +465,10 @@ def run_ensemble(
         return live_idx, states
 
     live_idx = np.arange(replicas)
+    # Mirror run_process's t=0 snapshot: every replica records the initial
+    # configuration, before absorption/stopping retire any of them.
+    if recorder is not None:
+        recorder.observe(0, states[:, :k], live_idx)
     alive = absorb(live_idx, states, 0)
     live_idx = live_idx[alive]
     states = states[alive]
@@ -385,6 +482,10 @@ def run_ensemble(
         states = dynamics.step_many(states, generator)
         if adversary is not None:
             states[:, :k] = adversary.corrupt_many(states[:, :k], generator)
+        # Record before retiring anyone: a replica absorbing at round t has
+        # its round-t configuration in the trace, as in run_process.
+        if recorder is not None:
+            recorder.observe(t, states[:, :k], live_idx)
         alive = absorb(live_idx, states, t)
         if not np.all(alive):
             live_idx = live_idx[alive]
@@ -404,4 +505,5 @@ def run_ensemble(
         max_rounds=max_rounds,
         final_counts=final_counts,
         stopped_by=stopped_by,
+        trace=recorder.finish() if recorder is not None else None,
     )

@@ -14,7 +14,10 @@ exist:
 * :data:`WORKLOADS` — initial-configuration generators with the uniform
   signature ``fn(n, k, **params) -> Configuration``;
 * :data:`STOPPING` — the stopping-rule constructors of
-  :mod:`repro.core.stopping`.
+  :mod:`repro.core.stopping`;
+* :data:`METRICS` — the vectorized per-round observables of
+  :mod:`repro.core.metrics` a scenario's ``record`` field may name
+  (``repro metrics`` lists them).
 
 Entries are added with the :meth:`Registry.register` decorator at module
 import time; :meth:`Registry.build` validates the parameter dict against
@@ -29,7 +32,15 @@ import inspect
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass
 
-__all__ = ["Registry", "RegistryEntry", "DYNAMICS", "ADVERSARIES", "WORKLOADS", "STOPPING"]
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "DYNAMICS",
+    "ADVERSARIES",
+    "WORKLOADS",
+    "STOPPING",
+    "METRICS",
+]
 
 
 @dataclass(frozen=True)
@@ -144,3 +155,7 @@ WORKLOADS = Registry("workload")
 
 #: Stopping-rule constructors (see :mod:`repro.core.stopping`).
 STOPPING = Registry("stopping rule")
+
+#: Per-round observables a scenario's ``record`` field may name
+#: (see :mod:`repro.core.metrics`).
+METRICS = Registry("metric")

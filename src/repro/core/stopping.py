@@ -27,6 +27,18 @@ Built-in rules (registry names in :data:`repro.core.registry.STOPPING`):
 
 Serialization: ``rule.to_dict()`` ↔ :func:`stopping_from_dict` round-trip
 through plain JSON-able dicts of the shape ``{"rule": <name>, **params}``.
+
+Metric-threshold rules
+----------------------
+The configuration-dependent rules are thresholds over the same
+:class:`~repro.core.metrics.Metric` objects the trace recorder uses
+(``monochromatic`` and ``plurality-fraction`` over ``plurality-count``,
+``bias-threshold`` over ``bias``), via the shared
+:class:`MetricThresholdStop` base: one vectorized evaluation path serves
+both the scalar :meth:`StoppingRule.met` and the batched
+:meth:`StoppingRule.met_many`, so the two can never disagree.  The
+``stopped_by`` label vocabulary is unchanged from the pre-metric
+implementation (asserted in ``tests/test_stopping.py``).
 """
 
 from __future__ import annotations
@@ -36,10 +48,12 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from .registry import STOPPING
+from .metrics import Metric
+from .registry import METRICS, STOPPING
 
 __all__ = [
     "StoppingRule",
+    "MetricThresholdStop",
     "MonochromaticStop",
     "PluralityFractionStop",
     "BiasThresholdStop",
@@ -68,8 +82,9 @@ class StoppingRule(abc.ABC):
     def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
         """Vectorized :meth:`met` over an ``(R, k)`` batch of counts.
 
-        Every built-in rule overrides this with a loop-free version; the
-        default exists so third-party rules only need :meth:`met`.
+        Built-in rules get a loop-free version through
+        :class:`MetricThresholdStop`; the default exists so third-party
+        rules only need :meth:`met`.
         """
         return np.fromiter(
             (self.met(row, n, t) for row in counts), dtype=bool, count=counts.shape[0]
@@ -105,24 +120,59 @@ class StoppingRule(abc.ABC):
         return f"{type(self).__name__}({inner})"
 
 
+class MetricThresholdStop(StoppingRule):
+    """A rule of the form ``metric(counts) >= threshold``.
+
+    Subclasses name a registered metric via :attr:`metric_name` and return
+    the (possibly ``n``-dependent) threshold from :meth:`threshold_for`.
+    Both :meth:`met` and :meth:`met_many` run through the metric's single
+    vectorized ``compute_many`` — the scalar path is the batch path on one
+    row, so there is exactly one evaluation path to validate.
+    """
+
+    #: Name of the metric (in :data:`repro.core.registry.METRICS`) compared
+    #: against the threshold.
+    metric_name: str = "metric"
+
+    @property
+    def metric(self) -> Metric:
+        cached = getattr(self, "_metric", None)
+        if cached is None:
+            cached = METRICS.build(self.metric_name)
+            assert isinstance(cached, Metric)
+            self._metric = cached
+        return cached
+
+    def threshold_for(self, n: int):
+        """The firing threshold at population size ``n``."""
+        raise NotImplementedError
+
+    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
+        values = self.metric.compute_many(np.asarray(counts), n)
+        return values >= self.threshold_for(n)
+
+    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
+        return bool(self.met_many(np.asarray(counts)[None, :], n, t)[0])
+
+
 @STOPPING.register("monochromatic")
-class MonochromaticStop(StoppingRule):
+class MonochromaticStop(MetricThresholdStop):
     """Stop when one color holds every agent (the absorbing state)."""
 
     rule = "monochromatic"
+    metric_name = "plurality-count"
 
-    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
-        return bool(np.max(counts) == n)
-
-    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
-        return counts.max(axis=1) == n
+    def threshold_for(self, n: int) -> int:
+        # max_j c_j <= n always, so >= n is exactly the old == n test.
+        return n
 
 
 @STOPPING.register("plurality-fraction")
-class PluralityFractionStop(StoppingRule):
+class PluralityFractionStop(MetricThresholdStop):
     """Stop once the top color holds at least ``fraction`` of all agents."""
 
     rule = "plurality-fraction"
+    metric_name = "plurality-count"
 
     def __init__(self, fraction: float):
         fraction = float(fraction)
@@ -130,21 +180,21 @@ class PluralityFractionStop(StoppingRule):
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         self.fraction = fraction
 
-    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
-        return bool(np.max(counts) >= self.fraction * n)
-
-    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
-        return counts.max(axis=1) >= self.fraction * n
+    def threshold_for(self, n: int) -> float:
+        # Thresholding the integer count against fraction·n preserves the
+        # pre-metric comparison bit for bit (no division on the left side).
+        return self.fraction * n
 
     def params(self) -> dict[str, object]:
         return {"fraction": self.fraction}
 
 
 @STOPPING.register("bias-threshold")
-class BiasThresholdStop(StoppingRule):
+class BiasThresholdStop(MetricThresholdStop):
     """Stop once the additive bias ``s(c) = c_(1) - c_(2)`` reaches ``threshold``."""
 
     rule = "bias-threshold"
+    metric_name = "bias"
 
     def __init__(self, threshold: int):
         threshold = int(threshold)
@@ -152,18 +202,8 @@ class BiasThresholdStop(StoppingRule):
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         self.threshold = threshold
 
-    @staticmethod
-    def _bias_many(counts: np.ndarray) -> np.ndarray:
-        if counts.shape[1] == 1:
-            return counts[:, 0]
-        top2 = np.partition(counts, counts.shape[1] - 2, axis=1)[:, -2:]
-        return top2[:, 1] - top2[:, 0]
-
-    def met(self, counts: np.ndarray, n: int, t: int) -> bool:
-        return bool(self._bias_many(np.asarray(counts)[None, :])[0] >= self.threshold)
-
-    def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
-        return self._bias_many(counts) >= self.threshold
+    def threshold_for(self, n: int) -> int:
+        return self.threshold
 
     def params(self) -> dict[str, object]:
         return {"threshold": self.threshold}

@@ -10,11 +10,13 @@ every non-plurality color.
 Measurement
 -----------
 For a family of configurations (paper-biased, geometric-tail, random,
-near-balanced) we draw one-round ensembles, compare the empirical mean
-count vector against Lemma 1 (reporting the max deviation in units of the
-per-color CLT standard error) and the empirical mean bias against
-Lemma 2's lower bound.  Agreement within a few standard errors at every
-point reproduces both lemmas.
+near-balanced) we run one-round replica ensembles through the standard
+runner with a declarative ``record=["counts"]`` trace (the metric layer
+of :mod:`repro.core.metrics` — no bespoke stepping loop), compare the
+empirical mean count vector against Lemma 1 (reporting the max deviation
+in units of the per-color CLT standard error) and the empirical mean bias
+against Lemma 2's lower bound.  Agreement within a few standard errors at
+every point reproduces both lemmas.
 """
 
 from __future__ import annotations
@@ -22,8 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.expectations import expected_next_bias_lower_bound, expected_next_counts
+from ..analysis.streaming import trace_moments
 from ..core.config import Configuration
 from ..core.majority import ThreeMajority
+from ..core.process import run_ensemble
 from ..core.rng import derive_seed
 from .harness import ExperimentSpec
 from .results import ResultTable
@@ -67,13 +71,19 @@ def run(scale: str, seed: int) -> ResultTable:
             rng = np.random.default_rng(derive_seed(seed, "e01", n, name))
             counts = config.counts
             R = cfg["replicas"]
-            batch = np.tile(counts, (R, 1))
-            nxt = dyn.step_many(batch, rng)
+            # One recorded round per replica: the ensemble runner draws the
+            # same batched multinomial the old bespoke step_many loop did
+            # (bit-identical at equal seed), and the counts trace is the
+            # one-round sample.
+            ens = run_ensemble(
+                dyn, config, R, max_rounds=1, record=["counts"], rng=rng
+            )
+            nxt = ens.trace["counts"][:, 1, :]
 
             mu = expected_next_counts(counts)
             law = mu / n
             stderr = np.sqrt(np.maximum(n * law * (1 - law), 1e-9) / R)
-            mean_counts = nxt.mean(axis=0)
+            mean_counts = trace_moments(ens.trace, "counts", round_index=1).mean
             max_dev = float(np.max(np.abs(mean_counts - mu) / stderr))
 
             # Bias drift: empirical mean of (top-initial-color minus each

@@ -77,11 +77,15 @@ def run(scale: str, seed: int) -> ResultTable:
                 dyn,
                 config,
                 max_rounds=cfg["max_rounds"],
+                record=["plurality-count"],
                 rng=rng,
             )
             consensus.append(res.rounds if res.converged else cfg["max_rounds"])
             target = 2 * n / k
-            above = np.nonzero(res.plurality_history >= target)[0]
+            # Doubling time straight off the recorded plurality-count trace
+            # (the proof's quantity), instead of the legacy history field.
+            plurality = res.trace.replica(0, "plurality-count")
+            above = np.nonzero(plurality >= target)[0]
             doubling.append(int(above[0]) if above.size else cfg["max_rounds"])
         med_d = float(np.median(doubling))
         med_c = float(np.median(consensus))

@@ -68,11 +68,17 @@ def run(scale: str, seed: int) -> ResultTable:
         wins = 0
         for rep in range(cfg["replicas"]):
             rng = np.random.default_rng(derive_seed(seed, "E6", h, rep))
-            res = run_process(dyn, config, max_rounds=cfg["max_rounds"], rng=rng)
+            res = run_process(
+                dyn,
+                config,
+                max_rounds=cfg["max_rounds"],
+                record=["plurality-count"],
+                rng=rng,
+            )
             rounds.append(res.rounds if res.converged else cfg["max_rounds"])
             wins += int(res.plurality_won)
             target = 2 * n / k
-            above = np.nonzero(res.plurality_history >= target)[0]
+            above = np.nonzero(res.trace.replica(0, "plurality-count") >= target)[0]
             growth.append(int(above[0]) if above.size else cfg["max_rounds"])
         med = float(np.median(rounds))
         med_growth = float(np.median(growth))

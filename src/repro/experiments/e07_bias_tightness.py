@@ -10,13 +10,15 @@ order √(kn): the requirement is (almost) tight.
 
 Measurement
 -----------
-At Lemma 10's configuration we draw large one-round ensembles and measure
-the empirical probability that the bias towards a *fixed* rival decreases,
-sweeping (a) ``k`` at the critical bias and (b) a multiplier α on the
-critical bias.  The reproduced shape: at α <= 1 the decrease probability is
-a clear constant above the 1/(16e) ≈ 0.023 floor; as α grows past ~2-4 it
-collapses towards 0, exhibiting the sharp threshold the paper's open
-question discusses.
+At Lemma 10's configuration we run large one-round replica ensembles
+through the standard runner with a ``record=["counts"]`` trace (no
+bespoke stepping loop) and measure the empirical probability that the
+bias towards a *fixed* rival decreases, sweeping (a) ``k`` at the
+critical bias and (b) a multiplier α on the critical bias.  The
+reproduced shape: at α <= 1 the decrease probability is a clear constant
+above the 1/(16e) ≈ 0.023 floor; as α grows past ~2-4 it collapses
+towards 0, exhibiting the sharp threshold the paper's open question
+discusses.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import numpy as np
 from ..analysis.bounds import lemma10_critical_bias, lemma10_probability_floor
 from ..analysis.fitting import wilson_interval
 from ..core.majority import ThreeMajority
+from ..core.process import run_ensemble
 from ..core.rng import derive_seed
 from .harness import ExperimentSpec
 from .results import ResultTable
@@ -68,8 +71,12 @@ def run(scale: str, seed: int) -> ResultTable:
             config = lemma10_start(n, k, s=s)
             rng = np.random.default_rng(derive_seed(seed, "E7", k, int(alpha * 100)))
             R = cfg["replicas"]
-            batch = np.tile(config.counts, (R, 1))
-            nxt = dyn.step_many(batch, rng)
+            # One recorded round per replica (bit-identical to the old
+            # bespoke step_many batch at equal seed).
+            ens = run_ensemble(
+                dyn, config, R, max_rounds=1, record=["counts"], rng=rng
+            )
+            nxt = ens.trace["counts"][:, 1, :]
             # Lemma 10 fixes one rival color j != 1; every rival is
             # exchangeable in this configuration, so use color 1.
             decreases = (nxt[:, 0] - nxt[:, 1]) < s

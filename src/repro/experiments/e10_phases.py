@@ -13,7 +13,8 @@ The upper-bound proof decomposes a 3-majority run into three phases:
 
 Measurement
 -----------
-Record full trajectories at several (n, k), segment them with
+Record full trajectories at several (n, k) via the declarative
+``record=["counts"]`` metric trace, segment them with
 :func:`repro.analysis.distance.phase_segments`, and report per phase: the
 rounds spent, the observed per-round bias growth factor vs Lemma 3's
 ``1 + c1/(4n)``, the observed minority decay ratio vs 8/9, and the length
@@ -93,10 +94,10 @@ def run(scale: str, seed: int) -> ResultTable:
         for rep in range(cfg["replicas"]):
             rng = np.random.default_rng(derive_seed(seed, "E10", n, k, rep))
             res = run_process(
-                dyn, config, max_rounds=cfg["max_rounds"], rng=rng, record_trajectory=True
+                dyn, config, max_rounds=cfg["max_rounds"], rng=rng, record=["counts"]
             )
-            assert res.trajectory is not None
-            for phase, st in _phase_stats(res.trajectory).items():
+            trajectory = res.trace.replica(0, "counts")
+            for phase, st in _phase_stats(trajectory).items():
                 entry = agg.setdefault(
                     phase, {"rounds": [], "growth": [], "decay": [], "lemma3_pred": []}
                 )

@@ -113,11 +113,13 @@ _F6_PARAMS = {"smoke": (20_000, 8), "small": (200_000, 16), "paper": (2_000_000,
 
 def _f6_trajectory(scale: str, seed: int) -> str:
     n, k = _F6_PARAMS[scale]
-    result = run_process(ThreeMajority(), paper_biased(n, k), rng=seed, record_trajectory=True)
-    rounds = list(range(result.bias_history.size))
+    result = run_process(ThreeMajority(), paper_biased(n, k), rng=seed)
+    bias_series = result.trace.replica(0, "bias")
+    plurality_series = result.trace.replica(0, "plurality-count")
+    rounds = list(range(bias_series.size))
     # Clamp to 0.5 so the log axis survives the final extinction round.
-    minority = [max(float(n - p), 0.5) for p in result.plurality_history]
-    bias = [max(float(b), 0.5) for b in result.bias_history]
+    minority = [max(float(n - p), 0.5) for p in plurality_series]
+    bias = [max(float(b), 0.5) for b in bias_series]
     return ascii_plot(
         {"bias s(c)": (rounds, bias), "minority mass": (rounds, minority)},
         logy=True,

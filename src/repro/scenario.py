@@ -42,8 +42,9 @@ import numpy as np
 from .core.adversary import Adversary
 from .core.config import Configuration
 from .core.dynamics import Dynamics
+from .core.metrics import RecordSpec, as_record_spec
 from .core.process import EnsembleResult, ProcessResult, run_ensemble, run_process
-from .core.registry import ADVERSARIES, DYNAMICS, STOPPING, WORKLOADS
+from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS
 from .core.stopping import StoppingRule, stopping_from_dict
 
 __all__ = ["ScenarioSpec", "ResolvedScenario", "simulate", "simulate_ensemble"]
@@ -91,6 +92,7 @@ class ResolvedScenario:
     initial: Configuration
     adversary: Adversary | None
     stopping: StoppingRule | None
+    record: RecordSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -104,8 +106,14 @@ class ScenarioSpec:
 
     ``stopping`` is the serialized ``{"rule": <name>, **params}`` form of
     a :class:`~repro.core.stopping.StoppingRule`; passing a rule instance
-    normalises it to that dict.  ``seed`` is the default stream for the
-    :func:`simulate` facades (overridable per call).
+    normalises it to that dict.  ``record`` is the serialized
+    ``{"metrics": [...], "every": m}`` form of a
+    :class:`~repro.core.metrics.RecordSpec` (metric names from ``repro
+    metrics``); passing a RecordSpec or a plain list of names normalises
+    it to that dict, and the resulting columnar
+    :class:`~repro.core.metrics.TraceSet` lands on the result's ``trace``
+    field.  ``seed`` is the default stream for the :func:`simulate`
+    facades (overridable per call).
     """
 
     dynamics: str
@@ -117,6 +125,7 @@ class ScenarioSpec:
     adversary: str | None = None
     adversary_params: dict[str, Any] = field(default_factory=dict)
     stopping: dict[str, Any] | None = None
+    record: dict[str, Any] | None = None
     replicas: int = 1
     max_rounds: int = 1_000_000
     seed: int | None = 0
@@ -142,6 +151,12 @@ class ScenarioSpec:
             if not isinstance(stopping.get("rule"), str):
                 raise ValueError("stopping dict needs a string 'rule' key")
         object.__setattr__(self, "stopping", stopping)
+        record = self.record
+        if record is not None:
+            # Normalise every accepted spelling (RecordSpec, name list,
+            # dict) through RecordSpec validation to the serialized dict.
+            record = as_record_spec(record).to_dict()
+        object.__setattr__(self, "record", record)
         if self.seed is not None:
             if isinstance(self.seed, bool) or not isinstance(self.seed, (int, np.integer)):
                 raise ValueError(f"seed must be an int or None, got {self.seed!r}")
@@ -180,6 +195,12 @@ class ScenarioSpec:
             "max_rounds": self.max_rounds,
             "seed": self.seed,
         }
+        if self.record is not None:
+            # Only present when set: an unrecorded spec keeps the exact
+            # pre-record canonical JSON, so its content-addressed cache
+            # entries from older versions stay valid (the engine contract
+            # did not change — recording never perturbs a run).
+            out["record"] = json.loads(json.dumps(self.record))
         return out
 
     @classmethod
@@ -245,8 +266,16 @@ class ScenarioSpec:
             if not isinstance(adversary, Adversary):
                 raise TypeError(f"adversary {self.adversary!r} did not build an Adversary")
         stopping = stopping_from_dict(self.stopping) if self.stopping is not None else None
+        record = None
+        if self.record is not None:
+            record = as_record_spec(self.record)
+            record.resolve()  # validate every metric name against METRICS
         return ResolvedScenario(
-            dynamics=dynamics, initial=initial, adversary=adversary, stopping=stopping
+            dynamics=dynamics,
+            initial=initial,
+            adversary=adversary,
+            stopping=stopping,
+            record=record,
         )
 
     def validate(self) -> "ScenarioSpec":
@@ -263,6 +292,7 @@ class ScenarioSpec:
             "workloads": WORKLOADS.names(),
             "adversaries": ADVERSARIES.names(),
             "stopping": STOPPING.names(),
+            "metrics": METRICS.names(),
         }
 
 
@@ -275,7 +305,10 @@ def simulate(
     """Run one trajectory of ``spec`` (seed from the spec unless ``rng`` given).
 
     Thin facade over :func:`repro.core.process.run_process`: at equal seed
-    the result is bit-identical to building the objects by hand.
+    the result is bit-identical to building the objects by hand.  The
+    spec's ``record`` field selects the metrics traced into
+    ``ProcessResult.trace`` (``record_trajectory=`` is the deprecated
+    spelling of adding ``"counts"``).
     """
     resolved = spec.resolve()
     return run_process(
@@ -284,6 +317,7 @@ def simulate(
         max_rounds=spec.max_rounds,
         adversary=resolved.adversary,
         stopping=resolved.stopping,
+        record=resolved.record,
         record_trajectory=record_trajectory,
         rng=spec.seed if rng is None else rng,
     )
@@ -309,6 +343,7 @@ def simulate_ensemble(
         max_rounds=spec.max_rounds,
         adversary=resolved.adversary,
         stopping=resolved.stopping,
+        record=resolved.record,
         rng=spec.seed if rng is None else rng,
         batch=batch,
     )

@@ -12,7 +12,10 @@ Correctness contract (asserted in ``tests/test_serve.py``):
 
 * a cache hit is **bit-identical** to calling
   :func:`~repro.scenario.simulate_ensemble` directly at equal seed — same
-  arrays, same dtypes, same per-replica ``stopped_by`` labels;
+  arrays, same dtypes, same per-replica ``stopped_by`` labels, and the
+  same columnar :class:`~repro.core.metrics.TraceSet` when the spec
+  carries a ``record`` (the record config is part of the spec's canonical
+  JSON, so recorded and un-recorded runs address different entries);
 * entries written under a different
   :data:`~repro.core.process.ENGINE_SCHEMA_VERSION` are never served:
   the version is part of the key, so a new engine simply cannot address
@@ -35,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.metrics import TraceSet
 from ..core.process import ENGINE_SCHEMA_VERSION, EnsembleResult
 from ..scenario import ScenarioSpec
 
@@ -118,6 +122,7 @@ def _encode(result: EnsembleResult) -> tuple[dict, dict[str, np.ndarray]]:
         "max_rounds": int(result.max_rounds),
         "has_final_counts": result.final_counts is not None,
         "has_stopped_by": result.stopped_by is not None,
+        "trace": None,
     }
     arrays: dict[str, np.ndarray] = {
         "rounds": result.rounds,
@@ -130,6 +135,19 @@ def _encode(result: EnsembleResult) -> tuple[dict, dict[str, np.ndarray]]:
         # Object arrays don't npz-save without pickle; str labels round-trip
         # exactly through a fixed-width unicode array.
         arrays["stopped_by"] = np.asarray(result.stopped_by, dtype=str)
+    trace = result.trace
+    if trace is not None:
+        # Metric columns are stored by position (names in the manifest): the
+        # names are arbitrary registry strings, not valid npz keys.
+        manifest["trace"] = {
+            "n": int(trace.n),
+            "every": int(trace.every),
+            "metrics": list(trace.metrics),
+        }
+        arrays["trace_rounds"] = trace.rounds
+        arrays["trace_n_recorded"] = trace.n_recorded
+        for position, name in enumerate(trace.metrics):
+            arrays[f"trace_values_{position}"] = trace.data[name]
     return manifest, arrays
 
 
@@ -137,6 +155,19 @@ def _decode(manifest: dict, arrays) -> EnsembleResult:
     stopped_by = None
     if manifest["has_stopped_by"]:
         stopped_by = np.array([str(label) for label in arrays["stopped_by"]], dtype=object)
+    trace = None
+    trace_meta = manifest.get("trace")
+    if trace_meta is not None:
+        trace = TraceSet(
+            n=int(trace_meta["n"]),
+            every=int(trace_meta["every"]),
+            rounds=np.asarray(arrays["trace_rounds"]),
+            n_recorded=np.asarray(arrays["trace_n_recorded"]),
+            data={
+                str(name): np.asarray(arrays[f"trace_values_{position}"])
+                for position, name in enumerate(trace_meta["metrics"])
+            },
+        )
     return EnsembleResult(
         rounds=np.asarray(arrays["rounds"]),
         winners=np.asarray(arrays["winners"]),
@@ -145,6 +176,7 @@ def _decode(manifest: dict, arrays) -> EnsembleResult:
         max_rounds=int(manifest["max_rounds"]),
         final_counts=np.asarray(arrays["final_counts"]) if manifest["has_final_counts"] else None,
         stopped_by=stopped_by,
+        trace=trace,
     )
 
 
@@ -158,6 +190,7 @@ def _copy_result(result: EnsembleResult) -> EnsembleResult:
         max_rounds=result.max_rounds,
         final_counts=None if result.final_counts is None else result.final_counts.copy(),
         stopped_by=None if result.stopped_by is None else result.stopped_by.copy(),
+        trace=None if result.trace is None else result.trace.copy(),
     )
 
 

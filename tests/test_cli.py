@@ -58,8 +58,9 @@ class TestScenarioCommands:
     def test_scenarios_json(self, capsys):
         assert main(["scenarios", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert set(data) == {"dynamics", "workloads", "adversaries", "stopping"}
+        assert set(data) == {"dynamics", "workloads", "adversaries", "stopping", "metrics"}
         assert "3-majority" in data["dynamics"]
+        assert "plurality-fraction" in data["metrics"]
 
     def test_simulate_inline(self, capsys):
         assert (
@@ -140,3 +141,81 @@ class TestScenarioCommands:
         assert saved.stopping == {"rule": "round-budget", "rounds": 5}
         out = capsys.readouterr().out
         assert "stopped by" in out
+
+
+class TestMetricsCommands:
+    def test_metrics_lists_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bias", "counts", "entropy", "plurality-fraction", "tv-monochromatic"):
+            assert name in out
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["vector"] is True
+        assert data["bias"]["dtype"] == "int64"
+        assert data["plurality-fraction"]["vector"] is False
+
+    def test_simulate_record_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dynamics", "3-majority",
+                    "--initial", "paper-biased",
+                    "--n", "5000",
+                    "--k", "3",
+                    "--replicas", "4",
+                    "--seed", "0",
+                    "--record", "bias,entropy",
+                    "--record-every", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["record"] == {"metrics": ["bias", "entropy"], "every": 2}
+        trace = record["trace"]
+        assert trace["metrics"] == ["bias", "entropy"]
+        assert trace["every"] == 2 and trace["replicas"] == 4
+        assert len(trace["digest"]) == 64
+
+    def test_record_flags_override_file(self, capsys, tmp_path):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="paper-biased", n=5_000, k=3, replicas=2
+        )
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        assert main(["simulate", str(path), "--record", "plurality-fraction", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["trace"]["metrics"] == ["plurality-fraction"]
+
+    def test_record_every_without_record_rejected(self, tmp_path):
+        spec = ScenarioSpec(dynamics="3-majority", initial="paper-biased", n=1_000, k=3)
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        with pytest.raises(SystemExit, match="--record-every"):
+            main(["simulate", str(path), "--record-every", "3"])
+
+    def test_counts_table_cap_flag_merges_into_dynamics_params(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dynamics", "h-plurality",
+                    "--dynamics-params", '{"h": 4}',
+                    "--counts-table-cap", "500",
+                    "--initial", "paper-biased",
+                    "--n", "2000",
+                    "--k", "4",
+                    "--replicas", "2",
+                    "--seed", "1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["dynamics_params"] == {"h": 4, "counts_table_cap": 500}

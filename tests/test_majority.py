@@ -172,6 +172,34 @@ class TestHPlurality:
         assert law.sum() == pytest.approx(1.0)
         assert (law >= 0).all()
 
+    def test_counts_table_cap_overrides_auto_fallback(self):
+        # C(k+h-1, h) at h=5, k=64 is ~10M rows: over the default 100k cap
+        # the auto engine falls back to agent-level, but an explicit
+        # counts_table_cap keeps (or forces off) the exact counts engine.
+        k = 64
+        rows = HPlurality.composition_count(5, k)
+        assert rows > HPlurality._MAX_AUTO_COMPOSITIONS
+        assert HPlurality(5).resolved_engine(k) == "agent"
+        assert HPlurality(5, counts_table_cap=rows).resolved_engine(k) == "counts"
+        assert HPlurality(5, counts_table_cap=10).resolved_engine(8) == "agent"
+        # h <= 3 has closed-form laws; the cap never matters there.
+        assert HPlurality(3, counts_table_cap=1).resolved_engine(100) == "counts"
+
+    def test_counts_table_cap_validated_and_spec_reachable(self):
+        with pytest.raises(ValueError, match="counts_table_cap"):
+            HPlurality(4, counts_table_cap=0)
+        from repro import ScenarioSpec
+
+        spec = ScenarioSpec(
+            dynamics="h-plurality",
+            dynamics_params={"h": 4, "counts_table_cap": 10},
+            n=1_000,
+            k=6,
+        )
+        dyn = spec.resolve().dynamics
+        assert dyn.counts_table_cap == 10
+        assert dyn.resolved_engine(6) == "agent"  # C(9,4)=126 > 10
+
     def test_step_conserves_mass(self, rng):
         for h in (1, 2, 3, 5, 9):
             out = HPlurality(h).step(np.array([40, 35, 25]), rng)

@@ -76,9 +76,9 @@ class TestContinuousMeanField:
 
         n = 1_000_000
         cfg = Configuration.from_fractions(n, [0.45, 0.35, 0.20])
-        sim = run_process(ThreeMajority(), cfg, rng=rng, max_rounds=5, record_trajectory=True)
+        sim = run_process(ThreeMajority(), cfg, rng=rng, max_rounds=5, record=["counts"])
         mf = discrete_mean_field(ThreeMajority(), np.array([0.45, 0.35, 0.20]), rounds=5)
-        sim_frac = sim.trajectory / n
+        sim_frac = sim.trace.replica(0, "counts") / n
         # Fluctuations (~n^-1/2 per round) compound through the drift's
         # sensitivity; a 2e-2 envelope over 5 rounds is the CLT scale.
         assert np.allclose(sim_frac[:6], mf.fractions[: sim_frac[:6].shape[0]], atol=2e-2)

@@ -19,19 +19,19 @@ from repro import (
 class TestRunProcess:
     def test_converges_and_records(self):
         cfg = Configuration.biased(10_000, 5, 2_000)
-        res = run_process(ThreeMajority(), cfg, rng=0, record_trajectory=True)
+        res = run_process(ThreeMajority(), cfg, rng=0, record=["counts", "bias", "plurality-count"])
         assert res.converged
         assert res.plurality_won
         assert res.winner == 0
-        assert res.trajectory is not None
-        assert res.trajectory.shape == (res.rounds + 1, 5)
-        assert res.bias_history.size == res.rounds + 1
-        assert res.plurality_history[-1] == 10_000
+        trajectory = res.trace.replica(0, "counts")
+        assert trajectory.shape == (res.rounds + 1, 5)
+        assert res.trace.replica(0, "bias").size == res.rounds + 1
+        assert res.trace.replica(0, "plurality-count")[-1] == 10_000
 
     def test_trajectory_mass_conserved(self):
         cfg = Configuration.biased(5_000, 4, 600)
-        res = run_process(ThreeMajority(), cfg, rng=1, record_trajectory=True)
-        assert (res.trajectory.sum(axis=1) == 5_000).all()
+        res = run_process(ThreeMajority(), cfg, rng=1, record=["counts"])
+        assert (res.trace.replica(0, "counts").sum(axis=1) == 5_000).all()
 
     def test_monochromatic_start_is_instant(self):
         res = run_process(ThreeMajority(), Configuration.monochromatic(100, 3, 1), rng=0)
@@ -49,11 +49,13 @@ class TestRunProcess:
 
     def test_stop_at_plurality_fraction(self):
         cfg = Configuration.biased(20_000, 4, 2_000)
-        res = run_process(
-            ThreeMajority(), cfg, rng=0, stop_at_plurality_fraction=0.5, max_rounds=10_000
-        )
-        assert res.plurality_history[-1] >= 10_000
-        assert not res.converged or res.plurality_history[-1] == 20_000
+        with pytest.warns(DeprecationWarning, match="stop_at_plurality_fraction"):
+            res = run_process(
+                ThreeMajority(), cfg, rng=0, stop_at_plurality_fraction=0.5, max_rounds=10_000
+            )
+        plurality = res.trace.replica(0, "plurality-count")
+        assert plurality[-1] >= 10_000
+        assert not res.converged or plurality[-1] == 20_000
 
     def test_zero_agents_rejected(self):
         with pytest.raises(ValueError, match="zero agents"):
@@ -61,10 +63,10 @@ class TestRunProcess:
 
     def test_seed_reproducibility(self):
         cfg = Configuration.biased(5_000, 4, 400)
-        a = run_process(ThreeMajority(), cfg, rng=123, record_trajectory=True)
-        b = run_process(ThreeMajority(), cfg, rng=123, record_trajectory=True)
+        a = run_process(ThreeMajority(), cfg, rng=123, record=["counts"])
+        b = run_process(ThreeMajority(), cfg, rng=123, record=["counts"])
         assert a.rounds == b.rounds
-        assert (a.trajectory == b.trajectory).all()
+        assert a.trace == b.trace
 
     def test_accepts_raw_counts(self):
         res = run_process(ThreeMajority(), np.array([900, 100]), rng=0)

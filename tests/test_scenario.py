@@ -84,6 +84,7 @@ def _full_spec() -> ScenarioSpec:
                 {"rule": "round-budget", "rounds": 400},
             ],
         },
+        record={"metrics": ["bias", "plurality-fraction"], "every": 2},
         replicas=12,
         max_rounds=1_000,
         seed=42,
@@ -226,15 +227,16 @@ class TestSpecValidation:
 class TestFacadeBitIdentity:
     def test_simulate_matches_run_process(self):
         spec = ScenarioSpec(
-            dynamics="3-majority", initial="paper-biased", n=20_000, k=5, seed=11
+            dynamics="3-majority", initial="paper-biased", n=20_000, k=5, seed=11,
+            record=["counts"],
         )
-        facade = simulate(spec, record_trajectory=True)
+        facade = simulate(spec)
         direct = run_process(
-            ThreeMajority(), paper_biased(20_000, 5), rng=11, record_trajectory=True
+            ThreeMajority(), paper_biased(20_000, 5), rng=11, record=["counts"]
         )
         assert facade.rounds == direct.rounds
         assert facade.winner == direct.winner
-        assert np.array_equal(facade.trajectory, direct.trajectory)
+        assert facade.trace == direct.trace
 
     def test_simulate_ensemble_matches_run_ensemble(self):
         spec = ScenarioSpec(
@@ -343,3 +345,90 @@ class TestEveryDynamicsSimulates:
         res = simulate(spec)
         assert res.stopped_by in ("monochromatic", "max-rounds")
         assert int(res.final_counts.sum()) <= 300  # colored mass (undecided excluded)
+
+
+class TestRecordField:
+    """The ``record`` field: normalization, round-trips, strictness, facades."""
+
+    def test_list_shorthand_normalised_to_dict(self):
+        spec = ScenarioSpec(dynamics="voter", n=100, k=2, record=["bias", "entropy"])
+        assert spec.record == {"metrics": ["bias", "entropy"], "every": 1}
+
+    def test_recordspec_instance_normalised(self):
+        from repro import RecordSpec
+
+        spec = ScenarioSpec(
+            dynamics="voter", n=100, k=2, record=RecordSpec(("counts",), every=3)
+        )
+        assert spec.record == {"metrics": ["counts"], "every": 3}
+
+    def test_record_round_trips_and_changes_identity(self):
+        spec = ScenarioSpec(dynamics="voter", n=100, k=2, record=["bias"])
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert '"record"' in spec.canonical_json()
+        bare = ScenarioSpec(dynamics="voter", n=100, k=2)
+        assert spec.canonical_json() != bare.canonical_json()
+        assert hash(spec) != hash(bare)
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(ValueError, match="unknown record keys"):
+            ScenarioSpec(dynamics="voter", n=100, k=2, record={"metrics": [], "evry": 2})
+        with pytest.raises(ValueError, match="every"):
+            ScenarioSpec(dynamics="voter", n=100, k=2, record={"metrics": ["bias"], "every": 0})
+        with pytest.raises(ValueError, match="duplicates"):
+            ScenarioSpec(dynamics="voter", n=100, k=2, record=["bias", "bias"])
+
+    def test_unknown_metric_rejected_at_resolve(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            ScenarioSpec(dynamics="voter", n=100, k=2, record=["nope"]).validate()
+
+    def test_every_registered_metric_reachable_via_record(self):
+        from repro import METRICS
+
+        for name in METRICS.names():
+            spec = ScenarioSpec(
+                dynamics="3-majority",
+                initial="paper-biased",
+                n=2_000,
+                k=3,
+                replicas=3,
+                max_rounds=50,
+                seed=7,
+                record=[name],
+            )
+            ens = simulate_ensemble(spec)
+            assert ens.trace is not None and name in ens.trace, name
+
+    def test_facade_trace_matches_direct_run_ensemble(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority",
+            initial="paper-biased",
+            n=10_000,
+            k=4,
+            replicas=6,
+            max_rounds=2_000,
+            seed=5,
+            record={"metrics": ["bias", "counts"], "every": 2},
+        )
+        facade = simulate_ensemble(spec)
+        direct = run_ensemble(
+            ThreeMajority(),
+            paper_biased(10_000, 4),
+            6,
+            max_rounds=2_000,
+            record={"metrics": ["bias", "counts"], "every": 2},
+            rng=5,
+        )
+        assert facade.trace == direct.trace
+        assert np.array_equal(facade.rounds, direct.rounds)
+
+    def test_recording_never_perturbs_the_run(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="paper-biased", n=8_000, k=4,
+            replicas=5, max_rounds=2_000, seed=3,
+        )
+        bare = simulate_ensemble(spec)
+        recorded = simulate_ensemble(spec.with_overrides(record=["entropy", "counts"]))
+        assert np.array_equal(bare.rounds, recorded.rounds)
+        assert np.array_equal(bare.winners, recorded.winners)
+        assert np.array_equal(bare.final_counts, recorded.final_counts)

@@ -44,6 +44,10 @@ def assert_results_identical(a: EnsembleResult, b: EnsembleResult) -> None:
     assert (a.stopped_by is None) == (b.stopped_by is None)
     if a.stopped_by is not None:
         assert list(a.stopped_by) == list(b.stopped_by)
+    assert (a.trace is None) == (b.trace is None)
+    if a.trace is not None:
+        assert a.trace == b.trace
+        assert a.trace.digest() == b.trace.digest()
 
 
 class TestCacheKey:
@@ -60,6 +64,7 @@ class TestCacheKey:
             {"max_rounds": 99},
             {"dynamics": "voter"},
             {"stopping": None},
+            {"record": {"metrics": ["bias"], "every": 1}},
         ):
             assert cache_key(base.with_overrides(**change)) != cache_key(base)
 
@@ -115,6 +120,32 @@ class TestResultCache:
         hit = reader.get(reader.key_for(spec))
         assert hit is not None
         assert_results_identical(simulate_ensemble(spec), hit)
+
+    def test_recorded_spec_round_trips_traceset_bit_identically(self, tmp_path):
+        # The acceptance contract: a recorded spec's cached replay — both
+        # from the memory layer and from a cold disk read — carries a
+        # TraceSet bit-identical to the cold run's.
+        spec = small_spec(
+            record={"metrics": ["bias", "counts", "plurality-fraction"], "every": 1}
+        )
+        direct = simulate_ensemble(spec)
+        assert direct.trace is not None
+        cache = ResultCache(tmp_path)
+        cold = cache.fetch_or_run(spec)
+        warm = cache.fetch_or_run(spec)
+        disk = ResultCache(tmp_path).fetch_or_run(spec)  # cold process, disk layer
+        for replay in (cold, warm, disk):
+            assert_results_identical(direct, replay)
+        assert disk.trace.digest() == direct.trace.digest()
+
+    def test_record_config_separates_cache_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bare = cache.fetch_or_run(small_spec())
+        recorded = cache.fetch_or_run(small_spec(record=["bias"]))
+        assert bare.trace is None
+        assert recorded.trace is not None
+        assert cache.misses == 2  # different content addresses, no collision
+        assert np.array_equal(bare.rounds, recorded.rounds)
 
     def test_fetch_or_run_equals_direct_call(self, tmp_path):
         spec = small_spec()

@@ -9,6 +9,7 @@ from repro import (
     AnyOfStop,
     BiasThresholdStop,
     Configuration,
+    MetricThresholdStop,
     MonochromaticStop,
     PluralityFractionStop,
     RoundBudgetStop,
@@ -73,6 +74,60 @@ class TestRulePredicates:
             AnyOfStop([42])
 
 
+class TestStoppingOverMetrics:
+    """The configuration rules are thresholds over registered metrics.
+
+    One vectorized evaluation path (the metric's ``compute_many``) serves
+    both ``met`` and ``met_many``, and the ``stopped_by`` label vocabulary
+    survives the rewrite unchanged.
+    """
+
+    def test_rules_are_metric_thresholds(self):
+        assert isinstance(MonochromaticStop(), MetricThresholdStop)
+        assert isinstance(PluralityFractionStop(0.5), MetricThresholdStop)
+        assert isinstance(BiasThresholdStop(3), MetricThresholdStop)
+        assert MonochromaticStop().metric_name == "plurality-count"
+        assert PluralityFractionStop(0.5).metric_name == "plurality-count"
+        assert BiasThresholdStop(3).metric_name == "bias"
+
+    def test_met_is_met_many_on_one_row(self):
+        counts = np.array([[8, 1, 1], [4, 4, 2], [10, 0, 0]])
+        for rule in (MonochromaticStop(), PluralityFractionStop(0.8), BiasThresholdStop(3)):
+            batched = rule.met_many(counts, 10, 1)
+            scalar = [rule.met(row, 10, 1) for row in counts]
+            assert batched.tolist() == scalar
+
+    def test_legacy_stopped_by_vocabulary_unchanged(self):
+        """The rewrite must not rename any label a downstream consumer parses."""
+        assert MonochromaticStop().rule == "monochromatic"
+        assert PluralityFractionStop(0.5).rule == "plurality-fraction"
+        assert BiasThresholdStop(3).rule == "bias-threshold"
+        assert RoundBudgetStop(1).rule == "round-budget"
+        assert AnyOfStop([RoundBudgetStop(1)]).rule == "any-of"
+        from repro.core.stopping import BUDGET_EXHAUSTED
+
+        assert BUDGET_EXHAUSTED == "max-rounds"
+
+    def test_legacy_labels_survive_in_runner_results(self):
+        cfg = Configuration.biased(20_000, 4, 2_000)
+        res = run_process(
+            ThreeMajority(), cfg, rng=0, stopping=PluralityFractionStop(0.5), max_rounds=10_000
+        )
+        assert res.stopped_by in {"monochromatic", "plurality-fraction"}
+        ens = run_ensemble(
+            ThreeMajority(), cfg, 8, rng=0, stopping=BiasThresholdStop(8_000), max_rounds=5_000
+        )
+        assert set(ens.stop_reasons()) <= {"monochromatic", "bias-threshold", "max-rounds"}
+
+    def test_plurality_fraction_comparison_unchanged(self):
+        # The threshold compares the integer plurality count against
+        # fraction·n, exactly like the pre-metric implementation — the
+        # boundary case (count == fraction·n) must still fire.
+        rule = PluralityFractionStop(0.5)
+        assert rule.met(np.array([5, 3, 2]), 10, 0)
+        assert not rule.met(np.array([4, 3, 3]), 10, 0)
+
+
 class TestSerialization:
     @pytest.mark.parametrize(
         "rule",
@@ -131,7 +186,7 @@ class TestRunProcessIntegration:
             assert res.stopped_by == "monochromatic"
         else:
             assert res.stopped_by == "plurality-fraction"
-            assert res.plurality_history[-1] >= 10_000
+            assert res.trace.replica(0, "plurality-count")[-1] >= 10_000
 
     def test_rule_only_truncates_never_perturbs(self):
         cfg = Configuration.biased(10_000, 5, 1_000)
@@ -140,8 +195,13 @@ class TestRunProcessIntegration:
             ThreeMajority(), cfg, rng=7, stopping=PluralityFractionStop(0.6)
         )
         m = stopped.rounds + 1
-        assert np.array_equal(stopped.plurality_history, free.plurality_history[:m])
-        assert np.array_equal(stopped.bias_history, free.bias_history[:m])
+        assert np.array_equal(
+            stopped.trace.replica(0, "plurality-count"),
+            free.trace.replica(0, "plurality-count")[:m],
+        )
+        assert np.array_equal(
+            stopped.trace.replica(0, "bias"), free.trace.replica(0, "bias")[:m]
+        )
 
     def test_accepts_serialized_dict(self):
         cfg = Configuration.biased(10_000, 5, 1_000)
@@ -238,7 +298,7 @@ class TestStoppingAtRoundZero:
         assert res.stopped_by == "plurality-fraction"
         assert not res.converged
         assert np.array_equal(res.final_counts, self.CFG.counts)
-        assert len(res.bias_history) == 1  # only the t=0 snapshot
+        assert res.trace.n_rounds == 1  # only the t=0 snapshot
 
     def test_zero_round_budget_fires_at_t0(self):
         res = run_process(
