@@ -74,6 +74,7 @@ from .core import (
     run_ensemble,
     run_process,
     skewed_rule,
+    sparse_ineligibility,
     spawn_streams,
     stopping_from_dict,
     three_input_rule,
@@ -82,7 +83,7 @@ from .core import (
 from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
 from .serve import BatchReport, ResultCache, cache_key, run_batch
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ADVERSARIES",
@@ -138,6 +139,7 @@ __all__ = [
     "simulate",
     "simulate_ensemble",
     "skewed_rule",
+    "sparse_ineligibility",
     "spawn_streams",
     "stopping_from_dict",
     "three_input_rule",

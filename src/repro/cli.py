@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--max-rounds", type=int, default=None)
     sim.add_argument("--seed", type=int, default=None)
     sim.add_argument(
+        "--engine",
+        choices=("auto", "dense", "sparse"),
+        default=None,
+        help=(
+            "ensemble batch layout: dense (R, k) stepping, sparse O(support) "
+            "stepping for large k, or auto (default; sparse at k >= 128 when "
+            "the scenario is sparse-eligible)"
+        ),
+    )
+    sim.add_argument(
         "--dynamics-params", type=_json_flag, default=None, help='JSON object, e.g. \'{"h": 5}\''
     )
     sim.add_argument("--initial-params", type=_json_flag, default=None, help="JSON object")
@@ -207,6 +217,7 @@ def _spec_from_args(args: argparse.Namespace):
         for key, value in (
             ("replicas", args.replicas),
             ("max_rounds", args.max_rounds),
+            ("engine", args.engine),
             ("seed", args.seed),
         )
         if value is not None
@@ -230,7 +241,7 @@ def _spec_from_args(args: argparse.Namespace):
             raise SystemExit(
                 f"{flags} cannot be combined with a scenario file; "
                 "edit the file or drop the flags (only --replicas/--max-rounds/--seed/"
-                "--record/--record-every/--counts-table-cap override a file)"
+                "--engine/--record/--record-every/--counts-table-cap override a file)"
             )
         spec = spec.with_overrides(**overrides) if overrides else spec
         return _apply_observation_flags(spec, args)
@@ -276,9 +287,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(record, indent=2, sort_keys=True))
         return 0
+    engine_note = "" if spec.engine == "auto" else f", engine={spec.engine}"
     print(
         f"scenario: {spec.dynamics} on {spec.initial} "
-        f"(n={spec.n}, k={spec.k}, replicas={spec.replicas}, seed={spec.seed})"
+        f"(n={spec.n}, k={spec.k}, replicas={spec.replicas}, seed={spec.seed}{engine_note})"
     )
     if spec.adversary:
         print(f"adversary: {spec.adversary} {spec.adversary_params}")

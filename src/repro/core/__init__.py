@@ -19,7 +19,15 @@ from .population import (
     PopulationResult,
     UndecidedPopulation,
 )
-from .process import ENGINE_SCHEMA_VERSION, EnsembleResult, ProcessResult, run_ensemble, run_process
+from .process import (
+    ENGINE_SCHEMA_VERSION,
+    ENSEMBLE_ENGINES,
+    EnsembleResult,
+    ProcessResult,
+    run_ensemble,
+    run_process,
+    sparse_ineligibility,
+)
 from .registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS, Registry
 from .rng import derive_seed, make_rng, spawn_streams, stream_iter
 from .stopping import (
@@ -32,6 +40,7 @@ from .stopping import (
     StoppingRule,
     stopping_from_dict,
 )
+from .support import compact_counts, scatter_counts, union_support
 from .threeinput import (
     DISTINCT_PATTERNS,
     PAIR_PATTERNS,
@@ -61,6 +70,7 @@ __all__ = [
     "DYNAMICS",
     "Dynamics",
     "ENGINE_SCHEMA_VERSION",
+    "ENSEMBLE_ENGINES",
     "EnsembleResult",
     "HPlurality",
     "METRICS",
@@ -94,6 +104,7 @@ __all__ = [
     "Voter",
     "all_position_rules",
     "as_record_spec",
+    "compact_counts",
     "derive_seed",
     "first_rule",
     "majority_rule",
@@ -104,11 +115,14 @@ __all__ = [
     "min_rule",
     "run_ensemble",
     "run_process",
+    "scatter_counts",
     "skewed_rule",
+    "sparse_ineligibility",
     "spawn_streams",
     "stack_traces",
     "stopping_from_dict",
     "stream_iter",
+    "union_support",
     "three_input_rule",
     "three_majority_law",
 ]

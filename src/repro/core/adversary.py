@@ -39,6 +39,17 @@ __all__ = [
 class Adversary(abc.ABC):
     """Base class; subclasses implement :meth:`_act` on a copy of counts."""
 
+    #: True when the strategy never moves mass onto a color whose count is
+    #: zero *and* its action depends only on the supported counts — so
+    #: acting on a support-compacted ``(R, s)`` batch and scattering back
+    #: equals acting on the dense ``(R, k)`` one.  This is the contract the
+    #: ensemble runner's ``engine="sparse"`` layout needs; strategies that
+    #: can revive extinct colors (targeted's monochromatic corner, random's
+    #: uniform-over-k refill, revive by design) must leave it False, which
+    #: keeps ``engine="auto"`` dense and makes an explicit ``"sparse"``
+    #: request fail loudly instead of silently changing the strategy.
+    support_preserving: bool = False
+
     def __init__(self, budget: int):
         if budget < 0:
             raise ValueError(f"budget must be non-negative, got {budget}")
@@ -133,7 +144,14 @@ class BalancingAdversary(Adversary):
     dead colors stay dead.  The batch path runs the same greedy schedule for
     all rows in lock-step (each iteration is one broadcast argmax/argmin
     pass over the still-active rows), bit-identical to the per-row loop.
+
+    Because it only ever looks at and feeds supported colors, this is the
+    one built-in strategy with :attr:`~Adversary.support_preserving` set:
+    acting on the sparse engine's support-compacted columns is exactly the
+    dense action.
     """
+
+    support_preserving = True
 
     def _act(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         remaining = self.budget

@@ -34,7 +34,7 @@ Every concrete dynamics is registered in
 
 Engine-selection matrix
 -----------------------
-Two execution engines exist (see :mod:`repro.core.samplers`): the exact
+Two *law* engines exist (see :mod:`repro.core.samplers`): the exact
 **counts-level** engine — one ``Multinomial(n, color_law(c))`` draw per
 round, O(k) — and the **agent-level** engine — explicit per-agent sampling,
 O(n·h) per round.  Dynamics whose constructor takes an ``engine=`` keyword
@@ -60,9 +60,33 @@ MedianDynamics         counts (class-wise       fixed, O(k²) law
 UndecidedState         counts (product form)    fixed, extra state slot
 =====================  =======================  ===========================
 
+Orthogonal to the law engine, :func:`repro.core.process.run_ensemble`
+selects an **ensemble layout** via its own ``engine=`` keyword:
+
+* ``"dense"`` — replicas step on the full ``(R, k)`` count matrix (the
+  historical layout; counts-engine runs are bit-identical to previous
+  releases at equal seed, while agent-level engines reordered their
+  draws when they went replica-batched);
+* ``"sparse"`` — replicas step on the **union-live-support compacted**
+  ``(R, s)`` columns (see :mod:`repro.core.support`), re-compacting with
+  hysteresis as colors go extinct, so per-round cost is O(s) not O(k).
+  Both law engines ride it unchanged: a support-closed law evaluated on
+  the sorted compacted axis equals the dense law restricted to the
+  support, and the agent-level samplers only ever draw supported colors.
+  For :class:`~repro.core.majority.HPlurality` the compaction also
+  shrinks the composition table from C(k+h−1, h) to C(s+h−1, h) rows,
+  re-enabling the exact law at ``k`` far beyond the dense auto cutoff;
+* ``"auto"`` — sparse once ``k`` is large (and the dynamics / adversary /
+  stopping rule are all sparse-eligible), dense otherwise.
+
 The agent-level paths are retained everywhere they exist because they are
 the *statistical ground truth* the counts-level laws are validated against
-(``tests/test_counts_engines.py``).
+(``tests/test_counts_engines.py``); their ``step_many`` batches the
+per-agent draws across replicas through the chunked offset-flattened
+categorical kernel (:func:`repro.core.samplers.batched_agent_step`)
+instead of a Python loop over rows — each chunk is reduced to its
+``(rows, k)`` histograms before the next is drawn, so peak memory
+matches the old per-replica path.
 """
 
 from __future__ import annotations
@@ -97,6 +121,18 @@ class Dynamics(abc.ABC):
 
     #: Whether the rule uses any per-agent state beyond the current color.
     uses_extra_state: bool = False
+
+    #: Whether the rule can never *revive* a color: a color with count zero
+    #: is assigned probability zero by the law / can never be produced by a
+    #: step.  This is the contract that makes the ensemble runner's
+    #: support-compacted ``engine="sparse"`` layout exact.  Every built-in
+    #: dynamics opts in (Definition 1 rules return one of their sampled
+    #: inputs, so only supported colors are ever adopted), but the default
+    #: is False — like ``Adversary.support_preserving`` and
+    #: ``Metric.sparse_invariant`` — so a third-party rule with mutation or
+    #: noise keeps ``engine="auto"`` dense and makes an explicit
+    #: ``"sparse"`` request fail loudly instead of silently never reviving.
+    support_closed: bool = False
 
     #: Whether :meth:`color_law` accepts ``(..., k)`` stacked configurations
     #: and broadcasts over the leading axes (reductions written with

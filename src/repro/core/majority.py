@@ -37,7 +37,12 @@ import numpy as np
 
 from .dynamics import CountsDynamics, Dynamics, validate_engine
 from .registry import DYNAMICS
-from .samplers import categorical_matrix, row_plurality
+from .samplers import (
+    batched_agent_step,
+    categorical_matrix,
+    equal_totals,
+    row_plurality,
+)
 
 __all__ = ["ThreeMajority", "HPlurality", "TwoSampleUniform", "three_majority_law"]
 
@@ -80,6 +85,7 @@ class ThreeMajority(CountsDynamics):
     name = "3-majority"
     sample_size = 3
     color_law_broadcasts = True
+    support_closed = True  # agents adopt a sampled color
 
     def __init__(self, agent_level: bool = False, tie_break: str = "first", engine: str = "auto"):
         if tie_break not in ("first", "uniform"):
@@ -104,7 +110,16 @@ class ThreeMajority(CountsDynamics):
     def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         if not self.agent_level:
             return super().step_many(counts, rng)
-        return Dynamics.step_many(self, counts, rng)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise ValueError("step_many expects (R, k) counts")
+        if counts.shape[0] == 0:
+            return counts.copy()
+        if not equal_totals(counts):
+            return Dynamics.step_many(self, counts, rng)
+        # The per-agent majority reduction is elementwise, so it rides the
+        # chunked batch sampler across replicas with no Python loop.
+        return batched_agent_step(counts, 3, rng, self._reduce_triples)
 
     def _agent_step(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = int(counts.sum())
@@ -112,6 +127,11 @@ class ThreeMajority(CountsDynamics):
         if n == 0:
             return counts.copy()
         triples = categorical_matrix(counts, n, 3, rng)
+        return np.bincount(self._reduce_triples(triples, rng), minlength=k).astype(np.int64)
+
+    def _reduce_triples(self, triples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Majority color of each ``(rows, 3)`` sample triple (shared by the
+        single-configuration and replica-batched agent engines)."""
         a, b, c = triples[:, 0], triples[:, 1], triples[:, 2]
         out = np.where(b == c, b, a)  # bc pair wins; else default to first
         out = np.where(a == b, a, out)
@@ -121,7 +141,7 @@ class ThreeMajority(CountsDynamics):
             if np.any(distinct):
                 pick = rng.integers(0, 3, size=int(distinct.sum()))
                 out[distinct] = triples[distinct, :][np.arange(pick.size), pick]
-        return np.bincount(out, minlength=k).astype(np.int64)
+        return out
 
 
 class _CompositionTable:
@@ -211,6 +231,7 @@ class HPlurality(CountsDynamics):
 
     name = "h-plurality"
     color_law_broadcasts = True
+    support_closed = True  # the plurality of a sample is one of the samples
 
     #: largest h with a counts-level engine (composition enumeration).
     _MAX_COUNTS_H = 5
@@ -290,7 +311,14 @@ class HPlurality(CountsDynamics):
         if counts.ndim != 2:
             raise ValueError("step_many expects (R, k) counts")
         if counts.shape[0] and self.resolved_engine(counts.shape[1]) != "counts":
-            return Dynamics.step_many(self, counts, rng)
+            if not equal_totals(counts):
+                return Dynamics.step_many(self, counts, rng)
+            # Replica-batched agent engine: chunked sample draws reduced
+            # by the plurality rule — no Python loop over replicas.
+            k = counts.shape[1]
+            return batched_agent_step(
+                counts, self.h, rng, lambda samples, r: row_plurality(samples, k, r)
+            )
         return super().step_many(counts, rng)
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
@@ -349,6 +377,7 @@ class TwoSampleUniform(CountsDynamics):
     name = "2-sample-uniform"
     sample_size = 2
     color_law_broadcasts = True
+    support_closed = True  # law collapses to c/n
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
         c = np.asarray(counts, dtype=np.float64)

@@ -35,6 +35,7 @@ class MedianDynamics(CountsDynamics):
     name = "median"
     sample_size = 3  # own value counts as one of the three inputs
     uses_extra_state = False
+    support_closed = True  # the median of three values is one of them
 
     def class_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
         """``M[x, v]``: probability a class-``x`` agent moves to value ``v``.

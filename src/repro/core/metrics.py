@@ -51,6 +51,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from .registry import METRICS
+from .support import scatter_counts
 
 __all__ = [
     "Metric",
@@ -81,6 +82,16 @@ class Metric(abc.ABC):
     #: scalar (the ``counts`` snapshot).
     vector: bool = False
 
+    #: True when the metric commutes with support compaction: computing it
+    #: on the sparse engine's ``(R, s)`` support-compacted counts (and, for
+    #: vector metrics, scattering the result back through the sorted
+    #: support map) is bit-identical to computing it on the dense ``(R,
+    #: k)`` counts.  Every built-in qualifies (dropped columns are exactly
+    #: zero and contribute nothing); third-party metrics default to False,
+    #: which makes the sparse recorder scatter to dense before evaluating
+    #: them — always correct, just O(k) for that metric.
+    sparse_invariant: bool = False
+
     @abc.abstractmethod
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         """Values over an ``(R, k)`` batch: shape ``(R,)`` (or ``(R, k)``)."""
@@ -103,6 +114,7 @@ class PluralityCountMetric(Metric):
 
     name = "plurality-count"
     dtype = np.int64
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         return np.asarray(counts).max(axis=1).astype(np.int64)
@@ -114,6 +126,7 @@ class PluralityFractionMetric(Metric):
 
     name = "plurality-fraction"
     dtype = np.float64
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         return np.asarray(counts).max(axis=1) / np.float64(n)
@@ -125,6 +138,9 @@ class BiasMetric(Metric):
 
     name = "bias"
     dtype = np.int64
+    #: On a width-1 compacted batch the k == 1 branch returns the single
+    #: count — the same value as the dense runner-up-is-zero bias.
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         counts = np.asarray(counts)
@@ -141,6 +157,7 @@ class SupportSizeMetric(Metric):
 
     name = "support-size"
     dtype = np.int64
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         return np.count_nonzero(np.asarray(counts) > 0, axis=1).astype(np.int64)
@@ -152,6 +169,7 @@ class EntropyMetric(Metric):
 
     name = "entropy"
     dtype = np.float64
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         p = np.asarray(counts, dtype=np.float64) / np.float64(n)
@@ -170,6 +188,7 @@ class TVMonochromaticMetric(Metric):
 
     name = "tv-monochromatic"
     dtype = np.float64
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         counts = np.asarray(counts)
@@ -183,6 +202,9 @@ class CountsMetric(Metric):
     name = "counts"
     dtype = np.int64
     vector = True
+    #: Compacted values scattered through the support map ARE the dense
+    #: snapshot (dropped columns are exactly zero).
+    sparse_invariant = True
 
     def compute_many(self, counts: np.ndarray, n: int) -> np.ndarray:
         return np.asarray(counts, dtype=np.int64).copy()
@@ -464,18 +486,43 @@ class TraceRecorder:
         #: — the bookkeeping reduction happens once, in :meth:`finish`.
         self._live: list[np.ndarray] = []
 
-    def observe(self, t: int, counts: np.ndarray, live: np.ndarray | None = None) -> None:
-        """Record round ``t`` for the live replicas (no-op off-cadence)."""
+    def observe(
+        self,
+        t: int,
+        counts: np.ndarray,
+        live: np.ndarray | None = None,
+        *,
+        support: np.ndarray | None = None,
+    ) -> None:
+        """Record round ``t`` for the live replicas (no-op off-cadence).
+
+        With ``support`` given, ``counts`` are the sparse engine's
+        support-compacted ``(L, s)`` columns: metrics flagged
+        :attr:`Metric.sparse_invariant` evaluate directly on them (vector
+        metrics scatter their values through the sorted support map into
+        the dense-``k`` slab), while unflagged metrics see a scattered
+        dense copy — so the recorded trace is bit-identical to a dense-run
+        trace either way.
+        """
         if t % self.spec.every != 0:
             return
         if live is None:
             live = self._all
         self._rounds.append(t)
         self._live.append(live)
+        dense = counts if support is None else None
         for metric, slabs in zip(self._metrics, self._slabs):
-            values = metric.compute_many(counts, self.n)
             slab = np.zeros((self.replicas,) + metric.shape(self.k), dtype=metric.dtype)
-            slab[live] = values
+            if support is not None and metric.sparse_invariant:
+                values = metric.compute_many(counts, self.n)
+                if metric.vector:
+                    slab[np.ix_(live, support)] = values
+                else:
+                    slab[live] = values
+            else:
+                if dense is None:
+                    dense = scatter_counts(counts, support, self.k)
+                slab[live] = metric.compute_many(dense, self.n)
             slabs.append(slab)
 
     def finish(self) -> TraceSet:

@@ -11,6 +11,19 @@ exactly the round split of Corollary 4's proof::
 the batched step kernels — the workhorse of every experiment, giving
 empirical success probabilities and convergence-time distributions.
 
+``run_ensemble`` steps its batch in one of two *layouts* (the
+``engine=`` keyword): ``"dense"`` keeps the full ``(R, k)`` count matrix;
+``"sparse"`` tracks the ensemble's union live support and steps the
+``(R, s)`` compacted columns (see :mod:`repro.core.support`),
+re-compacting with hysteresis as colors die — O(support) per round
+instead of O(k), the difference between impractical and seconds in the
+paper's large-``k`` regimes (``k = n^ε``).  ``"auto"`` upgrades to sparse
+at large ``k`` whenever the dynamics, adversary and stopping rule are all
+sparse-eligible.  Sparse runs are exact (support-closed laws restricted
+to the support are the dense laws) but consume randomness differently,
+so they are *statistically*, not bit-wise, equivalent to dense at equal
+seed — hence the :data:`ENGINE_SCHEMA_VERSION` bump that keys them.
+
 Observation is declarative (see :mod:`repro.core.metrics`): both runners
 take ``record=`` — metric names, a :class:`~repro.core.metrics.RecordSpec`
 or its serialized dict — and emit a columnar
@@ -34,6 +47,7 @@ from .config import Configuration
 from .dynamics import Dynamics
 from .metrics import RecordSpec, TraceRecorder, TraceSet, as_record_spec, stack_traces
 from .rng import make_rng, spawn_streams
+from .support import scatter_counts
 from .stopping import (
     BUDGET_EXHAUSTED,
     AnyOfStop,
@@ -44,10 +58,12 @@ from .stopping import (
 
 __all__ = [
     "ENGINE_SCHEMA_VERSION",
+    "ENSEMBLE_ENGINES",
     "ProcessResult",
     "EnsembleResult",
     "run_process",
     "run_ensemble",
+    "sparse_ineligibility",
 ]
 
 #: Version of the engine/result contract.  Bump whenever a change makes the
@@ -59,7 +75,34 @@ __all__ = [
 #: t=0 stopping-rule evaluation, supported-only ``BalancingAdversary``.
 #: (PR 4's metric recording left the contract at 2: metrics never consume
 #: randomness, so counts/rounds/winners are unchanged at equal seed.)
-ENGINE_SCHEMA_VERSION = 2
+#: 3 = the sparse ensemble layout: ``engine="sparse"`` (and the ``"auto"``
+#: upgrade at large k) draws its multinomials over the support-compacted
+#: columns, consuming randomness differently from dense at equal seed, and
+#: the scenario ``engine`` field joined the content address; additionally
+#: the agent-level engines batch their per-agent draws across replicas
+#: (``samplers.batched_agent_step``), which reorders *their* randomness
+#: consumption even on the dense layout (counts-engine dense runs are
+#: unchanged).  Cached entries from the two-engine era are invalidated
+#: rather than served.
+ENGINE_SCHEMA_VERSION = 3
+
+#: Recognised values of :func:`run_ensemble`'s ``engine=`` keyword (the
+#: *ensemble layout*, orthogonal to each dynamics' own counts/agent law
+#: engine — see the matrix in :mod:`repro.core.dynamics`).
+ENSEMBLE_ENGINES = ("auto", "dense", "sparse")
+
+#: ``engine="auto"`` upgrades to the sparse layout at k >= this.  Below
+#: it the dense per-round cost is already small and auto keeps the dense
+#: layout (bit-stable with previous releases for counts-engine dynamics;
+#: agent-level engines reordered their draws in v3 regardless of layout);
+#: every existing workload in the repo runs at k <= 100, so the threshold
+#: doubles as a compatibility line.
+_SPARSE_AUTO_MIN_K = 128
+
+#: Re-compact the sparse working set only when the union support has
+#: shrunk to this fraction of the current compacted width — O(log k)
+#: total copies over a run instead of one per extinction.
+_SPARSE_HYSTERESIS = 0.5
 
 #: ``stopped_by`` label for replicas absorbed in a monochromatic state.
 _MONO = "monochromatic"
@@ -358,6 +401,31 @@ def run_process(
     )
 
 
+def sparse_ineligibility(
+    dynamics: Dynamics,
+    adversary: Adversary | None = None,
+    stopping: StoppingRule | None = None,
+) -> str | None:
+    """Why this scenario cannot run on the sparse ensemble layout.
+
+    Returns ``None`` when it can, else a human-readable reason: the
+    dynamics must be support-closed and carry no extra non-color state,
+    the adversary must be support-preserving (never feeds extinct colors),
+    and the stopping rule must evaluate identically on support-compacted
+    counts.  ``engine="auto"`` consults this to fall back to dense; an
+    explicit ``engine="sparse"`` raises with the reason instead.
+    """
+    if not getattr(dynamics, "support_closed", False):
+        return f"dynamics {dynamics.name!r} is not support-closed"
+    if dynamics.uses_extra_state:
+        return f"dynamics {dynamics.name!r} carries extra non-color state"
+    if adversary is not None and not getattr(adversary, "support_preserving", False):
+        return f"adversary {type(adversary).__name__} is not support-preserving"
+    if stopping is not None and not getattr(stopping, "sparse_invariant", False):
+        return f"stopping rule {stopping.rule!r} is not sparse-invariant"
+    return None
+
+
 def run_ensemble(
     dynamics: Dynamics,
     initial: Configuration | np.ndarray,
@@ -369,6 +437,7 @@ def run_ensemble(
     stopping: StoppingRule | Mapping | None = None,
     rng: int | np.random.Generator | None = None,
     batch: bool = True,
+    engine: str = "auto",
 ) -> EnsembleResult:
     """Run ``replicas`` i.i.d. trajectories and gather their outcomes.
 
@@ -383,6 +452,19 @@ def run_ensemble(
     its own seed sequence, so the unbatched path is reproducible for every
     accepted ``rng`` type.
 
+    ``engine`` selects the batched layout: ``"dense"`` steps the full
+    ``(R, k)`` matrix (the historical layout; bit-identical to previous
+    releases at equal seed for counts-engine dynamics — agent-level
+    engines batch their draws differently since schema version 3);
+    ``"sparse"`` steps the union-live-support compacted ``(R, s)`` columns
+    — O(support) per round, the large-``k`` mode — and requires a
+    sparse-eligible scenario (see :func:`sparse_ineligibility`);
+    ``"auto"`` upgrades to sparse when ``k >= 128`` and the scenario is
+    eligible.  Sparse draws consume randomness differently, so sparse and
+    dense agree in distribution, not bit-wise, at equal seed.  The
+    unbatched path has a single (dense) layout: ``engine="sparse"`` with
+    ``batch=False`` is an error.
+
     With ``record=``, metric values are computed *vectorized across the
     live replicas* each recorded round and returned as a columnar
     :class:`~repro.core.metrics.TraceSet` in ``EnsembleResult.trace``
@@ -392,6 +474,8 @@ def run_ensemble(
     """
     if replicas <= 0:
         raise ValueError("need at least one replica")
+    if engine not in ENSEMBLE_ENGINES:
+        raise ValueError(f"unknown ensemble engine {engine!r}; expected one of {ENSEMBLE_ENGINES}")
     stopping = _resolve_stopping(stopping, None)
     record = _resolve_record(record, False, default=None)
     state0, k = _prepare_state(dynamics, initial)
@@ -399,6 +483,8 @@ def run_ensemble(
     plurality_color = int(np.argmax(state0[:k]))
 
     if not batch:
+        if engine == "sparse":
+            raise ValueError("engine='sparse' needs the batched path (batch=True)")
         streams = spawn_streams(rng, replicas)
         results = [
             run_process(
@@ -429,7 +515,73 @@ def run_ensemble(
         )
 
     generator = make_rng(rng)
-    states = np.tile(state0, (replicas, 1))
+    reason = sparse_ineligibility(dynamics, adversary, stopping)
+    support = None
+    if engine == "sparse" or (
+        engine == "auto" and k >= _SPARSE_AUTO_MIN_K and n > 0 and reason is None
+    ):
+        if reason is not None:  # only reachable for an explicit "sparse"
+            raise ValueError(f"engine='sparse' unavailable: {reason}")
+        if n <= 0:
+            raise ValueError("cannot run the sparse engine with zero agents")
+        support = np.flatnonzero(state0[:k]).astype(np.int64)
+    return _run_ensemble_batched(
+        dynamics,
+        state0,
+        replicas,
+        n=n,
+        k=k,
+        max_rounds=max_rounds,
+        adversary=adversary,
+        record=record,
+        stopping=stopping,
+        generator=generator,
+        plurality_color=plurality_color,
+        support=support,
+    )
+
+
+def _run_ensemble_batched(
+    dynamics: Dynamics,
+    state0: np.ndarray,
+    replicas: int,
+    *,
+    n: int,
+    k: int,
+    max_rounds: int,
+    adversary: Adversary | None,
+    record: RecordSpec | None,
+    stopping: StoppingRule | None,
+    generator: np.random.Generator,
+    plurality_color: int,
+    support: np.ndarray | None,
+) -> EnsembleResult:
+    """The batched replica loop, shared by the dense and sparse layouts.
+
+    With ``support is None`` the working set is the dense ``(R, k [+
+    extra])`` state matrix — the historical layout.  With ``support``
+    given (the sorted union-live-support map), the working set is the
+    compacted ``(R, s)`` columns: per round the dynamics steps the
+    compacted batch (its law sees width ``s``, so e.g.
+    :class:`~repro.core.majority.HPlurality`'s auto engine sizes its
+    composition table by ``s``, not ``k``), the support-preserving
+    adversary corrupts the compacted columns, metrics record through the
+    compaction-aware :meth:`~repro.core.metrics.TraceRecorder.observe`,
+    and winners / final counts scatter back through ``support`` only at
+    retirement boundaries.  When the union support has shrunk past the
+    hysteresis fraction the working set is re-compacted — the dead
+    columns' cost disappears for the rest of the run.
+
+    Support is monotone non-increasing (support-closed dynamics,
+    support-preserving adversaries — enforced by
+    :func:`sparse_ineligibility`), so ``scatter_counts`` is lossless at
+    every round and both layouts report identical dense-``k`` result
+    arrays.  Everything else — stepping order, t=0 rule evaluation,
+    record-before-retire, stop labelling — is one shared code path, so
+    the two layouts cannot drift apart semantically.
+    """
+    sparse = support is not None
+    states = np.tile(state0[support] if sparse else state0, (replicas, 1))
     rounds = np.full(replicas, max_rounds, dtype=np.int64)
     winners = np.full(replicas, -1, dtype=np.int64)
     converged = np.zeros(replicas, dtype=bool)
@@ -438,28 +590,51 @@ def run_ensemble(
     recorder = (
         TraceRecorder(record, n=n, k=k, replicas=replicas) if record is not None else None
     )
+    # Reused per-round scratch: the absorption scan writes its row maxima
+    # and boolean verdicts into leading views of these instead of
+    # allocating fresh arrays every round.
+    scratch_max = np.empty(replicas, dtype=states.dtype)
+    scratch_mask = np.empty(replicas, dtype=bool)
+
+    def colored_view(block: np.ndarray) -> np.ndarray:
+        """The color columns: compacted batches are all colors; dense
+        batches may carry extra state slots past ``k``."""
+        return block if sparse else block[:, :k]
+
+    def to_dense(rows: np.ndarray) -> np.ndarray:
+        return scatter_counts(rows, support, k) if sparse else rows
 
     def absorb(live_idx: np.ndarray, live_states: np.ndarray, t: int) -> np.ndarray:
-        colored = live_states[:, :k]
-        mono = colored.max(axis=1) == n
-        if np.any(mono):
+        colored = colored_view(live_states)
+        live = colored.shape[0]
+        peak = np.max(colored, axis=1, out=scratch_max[:live])
+        mono = np.equal(peak, n, out=scratch_mask[:live])
+        if mono.any():
             idx = live_idx[mono]
             converged[idx] = True
             rounds[idx] = t
-            winners[idx] = np.argmax(colored[mono], axis=1)
-            final_counts[idx] = colored[mono]
+            top = np.argmax(colored[mono], axis=1)
+            winners[idx] = support[top] if sparse else top
+            final_counts[idx] = to_dense(colored[mono])
             stopped_by[idx] = _MONO
-        return ~mono
+        # The caller consumes the alive mask before the next absorb call,
+        # so inverting in place keeps the round allocation-free.
+        return np.logical_not(mono, out=mono)
 
     def cull_stopped(live_idx: np.ndarray, states: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:
-        """Retire replicas whose stopping rule fires at round ``t``."""
-        fired = stopping.fired_many(states[:, :k], n, t)
-        hit = ~np.equal(fired, None)
+        """Retire replicas whose stopping rule fires at round ``t``.
+
+        The cheap boolean ``met_many`` runs every round; the object-array
+        label pass (``fired_many``) runs only on the rows that actually
+        fired.
+        """
+        colored = colored_view(states)
+        hit = stopping.met_many(colored, n, t)
         if np.any(hit):
             idx = live_idx[hit]
             rounds[idx] = t
-            final_counts[idx] = states[hit, :k]
-            stopped_by[idx] = fired[hit]
+            final_counts[idx] = to_dense(colored[hit])
+            stopped_by[idx] = stopping.fired_many(colored[hit], n, t)
             live_idx = live_idx[~hit]
             states = states[~hit]
         return live_idx, states
@@ -468,7 +643,7 @@ def run_ensemble(
     # Mirror run_process's t=0 snapshot: every replica records the initial
     # configuration, before absorption/stopping retire any of them.
     if recorder is not None:
-        recorder.observe(0, states[:, :k], live_idx)
+        recorder.observe(0, colored_view(states), live_idx, support=support)
     alive = absorb(live_idx, states, 0)
     live_idx = live_idx[alive]
     states = states[alive]
@@ -481,20 +656,31 @@ def run_ensemble(
         t += 1
         states = dynamics.step_many(states, generator)
         if adversary is not None:
-            states[:, :k] = adversary.corrupt_many(states[:, :k], generator)
+            if sparse:
+                states = adversary.corrupt_many(states, generator)
+            else:
+                states[:, :k] = adversary.corrupt_many(states[:, :k], generator)
         # Record before retiring anyone: a replica absorbing at round t has
         # its round-t configuration in the trace, as in run_process.
         if recorder is not None:
-            recorder.observe(t, states[:, :k], live_idx)
+            recorder.observe(t, colored_view(states), live_idx, support=support)
         alive = absorb(live_idx, states, t)
         if not np.all(alive):
             live_idx = live_idx[alive]
             states = states[alive]
         if stopping is not None and live_idx.size:
             live_idx, states = cull_stopped(live_idx, states, t)
+        if sparse and live_idx.size and support.size > 1:
+            # Hysteresis re-compaction: only pay the column copy once the
+            # union support has shrunk enough to matter.
+            cols = states.any(axis=0)
+            live_cols = int(np.count_nonzero(cols))
+            if live_cols <= support.size * _SPARSE_HYSTERESIS:
+                support = support[cols]
+                states = np.ascontiguousarray(states[:, cols])
 
     if live_idx.size:
-        final_counts[live_idx] = states[:, :k]
+        final_counts[live_idx] = to_dense(colored_view(states))
     stopped_by[np.equal(stopped_by, None)] = BUDGET_EXHAUSTED
 
     return EnsembleResult(

@@ -26,6 +26,9 @@ __all__ = [
     "multinomial_step_batch",
     "categorical_sample",
     "categorical_matrix",
+    "categorical_matrix_batch",
+    "batched_agent_step",
+    "equal_totals",
     "row_plurality",
     "row_counts_dense",
     "top_two",
@@ -34,6 +37,12 @@ __all__ = [
 #: cells allowed in a transient (rows x k) one-hot count block (~256 MiB of
 #: int64 at the default); chunking keeps peak memory flat for any n.
 _DENSE_BLOCK_CELLS = 32 * 1024 * 1024
+
+#: cells per replica-chunk sample block in the batched agent kernels
+#: (~32 MiB of int64 per transient — a few live at once across the draw,
+#: searchsorted and reduction, so the peak stays within ~100 MiB, the same
+#: order as the per-replica path's row_plurality histogram blocks).
+_SAMPLE_BLOCK_CELLS = 4 * 1024 * 1024
 
 
 def top_two(counts: np.ndarray) -> tuple[int, int]:
@@ -121,6 +130,108 @@ def categorical_matrix(
     if rows < 0 or h <= 0:
         raise ValueError(f"need rows >= 0 and h >= 1, got rows={rows}, h={h}")
     return categorical_sample(counts, (rows, h), rng)
+
+
+def equal_totals(counts: np.ndarray) -> bool:
+    """True when every replica row carries the same positive agent mass.
+
+    The batched agent-level kernels draw one flattened block per replica
+    chunk, which needs a common ``n``.  The ensemble runners satisfy this
+    by construction (mass is conserved per replica); direct ``step_many``
+    callers with ragged totals fall back to the per-row path.
+    """
+    totals = np.asarray(counts).sum(axis=1)
+    return bool(totals.size) and int(totals[0]) > 0 and bool((totals == totals[0]).all())
+
+
+def _categorical_block(
+    cdf: np.ndarray, n: int, h: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(rows, n, h)`` samples for one chunk of per-row CDFs.
+
+    One uniform draw and one ``searchsorted`` over the *offset-flattened*
+    CDFs: row ``r``'s CDF and queries are both shifted by ``r·n``, so the
+    concatenated CDF stays non-decreasing and every query lands inside its
+    own row's segment.  Exact in integer arithmetic, like the single-row
+    kernel.
+    """
+    rows, k = cdf.shape
+    offsets = np.arange(rows, dtype=np.int64) * n
+    flat_cdf = (cdf + offsets[:, None]).ravel()
+    u = rng.integers(0, n, size=(rows, n, h), dtype=np.int64)
+    u += offsets[:, None, None]
+    idx = np.searchsorted(flat_cdf, u.ravel(), side="right").reshape(rows, n, h)
+    idx -= (np.arange(rows, dtype=np.int64) * k)[:, None, None]
+    return idx
+
+
+def _checked_batch_cdf(counts: np.ndarray, h: int) -> tuple[np.ndarray, int]:
+    c = np.asarray(counts, dtype=np.int64)
+    if c.ndim != 2:
+        raise ValueError("counts must be an (R, k) batch")
+    if h <= 0:
+        raise ValueError(f"need h >= 1, got h={h}")
+    if np.any(c < 0):
+        raise ValueError("counts must be non-negative")
+    if c.shape[0] and not equal_totals(c):
+        raise ValueError("all rows must share the same positive total")
+    n = int(c[0].sum()) if c.shape[0] else 0
+    return np.cumsum(c, axis=1), n
+
+
+def categorical_matrix_batch(
+    counts: np.ndarray, h: int, rng: np.random.Generator
+) -> np.ndarray:
+    """An ``(R, n, h)`` block of i.i.d. color samples, row ``r`` drawn from
+    ``counts[r]`` — the replica-batched sibling of :func:`categorical_matrix`.
+
+    NOTE: this materialises the *whole* ``R·n·h`` block.  Step kernels
+    must not call it directly — :func:`batched_agent_step` draws and
+    reduces chunk by chunk instead, keeping peak memory at the per-chunk
+    budget regardless of the replica count.
+    """
+    cdf, n = _checked_batch_cdf(counts, h)
+    replicas, _ = cdf.shape
+    if replicas == 0:
+        return np.zeros((0, 0, h), dtype=np.int64)
+    out = np.empty((replicas, n, h), dtype=np.int64)
+    chunk = max(1, _SAMPLE_BLOCK_CELLS // max(n * h, 1))
+    for start in range(0, replicas, chunk):
+        stop = min(start + chunk, replicas)
+        out[start:stop] = _categorical_block(cdf[start:stop], n, h, rng)
+    return out
+
+
+def batched_agent_step(
+    counts: np.ndarray,
+    h: int,
+    rng: np.random.Generator,
+    choose,
+) -> np.ndarray:
+    """One agent-level round for a whole replica batch, bounded memory.
+
+    For each replica chunk: draw the ``(rows, n, h)`` sample block, reduce
+    it with ``choose(samples_2d, rng) -> colors`` (``samples_2d`` is the
+    chunk flattened to ``(rows·n, h)``; ``choose`` is the per-agent rule —
+    majority, plurality, an arbitrary 3-input ``f``), histogram the chosen
+    colors per replica, and discard the block.  Only the ``(R, k)`` result
+    and one chunk's transients (:data:`_SAMPLE_BLOCK_CELLS` cells each,
+    ~32 MiB) are ever resident, so peak memory stays flat in the replica
+    count — the same order as the per-replica loop this replaces — while
+    keeping the loop-free draws.  All rows must share the same positive
+    total (the ensemble invariant); ragged callers fall back to per-row
+    stepping.
+    """
+    cdf, n = _checked_batch_cdf(counts, h)
+    replicas, k = cdf.shape
+    out = np.empty((replicas, k), dtype=np.int64)
+    chunk = max(1, _SAMPLE_BLOCK_CELLS // max(n * h, 1))
+    for start in range(0, replicas, chunk):
+        stop = min(start + chunk, replicas)
+        samples = _categorical_block(cdf[start:stop], n, h, rng)
+        colors = choose(samples.reshape(-1, h), rng)
+        out[start:stop] = row_counts_dense(colors.reshape(stop - start, n), k)
+    return out
 
 
 def row_counts_dense(samples: np.ndarray, k: int) -> np.ndarray:

@@ -90,6 +90,20 @@ class StoppingRule(abc.ABC):
             (self.met(row, n, t) for row in counts), dtype=bool, count=counts.shape[0]
         )
 
+    @property
+    def sparse_invariant(self) -> bool:
+        """True when the rule may be evaluated on support-compacted counts.
+
+        The sparse ensemble engine hands rules the ``(R, s)`` compacted
+        columns instead of the dense ``(R, k)`` counts; a rule qualifies
+        when its verdict is identical on both (built-in threshold rules
+        inherit the answer from their metric, ``round-budget`` never looks
+        at the counts at all).  Third-party rules default to False, which
+        keeps ``engine="auto"`` dense and makes an explicit ``"sparse"``
+        request fail loudly.
+        """
+        return False
+
     def fired(self, counts: np.ndarray, n: int, t: int) -> str | None:
         """Name of the (sub-)rule that fired, or None."""
         return self.rule if self.met(counts, n, t) else None
@@ -146,6 +160,10 @@ class MetricThresholdStop(StoppingRule):
     def threshold_for(self, n: int):
         """The firing threshold at population size ``n``."""
         raise NotImplementedError
+
+    @property
+    def sparse_invariant(self) -> bool:
+        return self.metric.sparse_invariant
 
     def met_many(self, counts: np.ndarray, n: int, t: int) -> np.ndarray:
         values = self.metric.compute_many(np.asarray(counts), n)
@@ -221,6 +239,10 @@ class RoundBudgetStop(StoppingRule):
             raise ValueError(f"rounds must be >= 0, got {rounds}")
         self.rounds = rounds
 
+    @property
+    def sparse_invariant(self) -> bool:
+        return True  # never inspects the counts
+
     def met(self, counts: np.ndarray, n: int, t: int) -> bool:
         return t >= self.rounds
 
@@ -248,6 +270,10 @@ class AnyOfStop(StoppingRule):
         if not members:
             raise ValueError("any-of needs at least one member rule")
         self.rules = tuple(members)
+
+    @property
+    def sparse_invariant(self) -> bool:
+        return all(rule.sparse_invariant for rule in self.rules)
 
     def met(self, counts: np.ndarray, n: int, t: int) -> bool:
         return any(rule.met(counts, n, t) for rule in self.rules)

@@ -66,7 +66,7 @@ import numpy as np
 
 from .dynamics import CountsDynamics, Dynamics, validate_engine
 from .registry import DYNAMICS
-from .samplers import categorical_matrix
+from .samplers import batched_agent_step, categorical_matrix, equal_totals
 
 __all__ = [
     "ThreeInputRule",
@@ -120,6 +120,7 @@ class ThreeInputRule(CountsDynamics):
 
     sample_size = 3
     color_law_broadcasts = True
+    support_closed = True  # f(x1, x2, x3) is one of its inputs
 
     def __init__(
         self,
@@ -259,7 +260,18 @@ class ThreeInputRule(CountsDynamics):
     def step_many(self, counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         if self.engine != "agent":
             return super().step_many(counts, rng)
-        return Dynamics.step_many(self, counts, rng)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise ValueError("step_many expects (R, k) counts")
+        if counts.shape[0] == 0:
+            return counts.copy()
+        if not equal_totals(counts):
+            return Dynamics.step_many(self, counts, rng)
+        # apply() is elementwise over aligned triple arrays, so the whole
+        # replica batch reduces through the chunked batch sampler.
+        return batched_agent_step(
+            counts, 3, rng, lambda t, r: self.apply(t[:, 0], t[:, 1], t[:, 2], r)
+        )
 
     def _law_from_probs(self, p: np.ndarray) -> np.ndarray:
         """O(k) closed-form law from color probabilities ``p`` (axis -1).

@@ -28,6 +28,7 @@ class Voter(CountsDynamics):
     name = "voter"
     sample_size = 1
     color_law_broadcasts = True
+    support_closed = True  # copies a sampled color
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
         c = np.asarray(counts, dtype=np.float64)
@@ -51,6 +52,7 @@ class TwoChoices(CountsDynamics):
 
     name = "two-choices"
     sample_size = 2
+    support_closed = True  # adopts a sampled color or keeps its own
 
     def color_law(self, counts: np.ndarray) -> np.ndarray:
         # Marginal law over a uniformly random agent (used by the exact

@@ -43,7 +43,13 @@ from .core.adversary import Adversary
 from .core.config import Configuration
 from .core.dynamics import Dynamics
 from .core.metrics import RecordSpec, as_record_spec
-from .core.process import EnsembleResult, ProcessResult, run_ensemble, run_process
+from .core.process import (
+    ENSEMBLE_ENGINES,
+    EnsembleResult,
+    ProcessResult,
+    run_ensemble,
+    run_process,
+)
 from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS
 from .core.stopping import StoppingRule, stopping_from_dict
 
@@ -112,8 +118,13 @@ class ScenarioSpec:
     metrics``); passing a RecordSpec or a plain list of names normalises
     it to that dict, and the resulting columnar
     :class:`~repro.core.metrics.TraceSet` lands on the result's ``trace``
-    field.  ``seed`` is the default stream for the :func:`simulate`
-    facades (overridable per call).
+    field.  ``engine`` selects :func:`~repro.core.process.run_ensemble`'s
+    batch layout — ``"auto"`` (default), ``"dense"``, or the O(support)
+    large-``k`` ``"sparse"`` mode; it changes how randomness is consumed,
+    so it is part of the scenario's content address (``"auto"`` is
+    omitted from the canonical JSON, like an unset ``record``).  ``seed``
+    is the default stream for the :func:`simulate` facades (overridable
+    per call).
     """
 
     dynamics: str
@@ -128,6 +139,7 @@ class ScenarioSpec:
     record: dict[str, Any] | None = None
     replicas: int = 1
     max_rounds: int = 1_000_000
+    engine: str = "auto"
     seed: int | None = 0
 
     def __post_init__(self):
@@ -157,6 +169,10 @@ class ScenarioSpec:
             # dict) through RecordSpec validation to the serialized dict.
             record = as_record_spec(record).to_dict()
         object.__setattr__(self, "record", record)
+        if self.engine not in ENSEMBLE_ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENSEMBLE_ENGINES}, got {self.engine!r}"
+            )
         if self.seed is not None:
             if isinstance(self.seed, bool) or not isinstance(self.seed, (int, np.integer)):
                 raise ValueError(f"seed must be an int or None, got {self.seed!r}")
@@ -201,6 +217,13 @@ class ScenarioSpec:
             # entries from older versions stay valid (the engine contract
             # did not change — recording never perturbs a run).
             out["record"] = json.loads(json.dumps(self.record))
+        if self.engine != "auto":
+            # Same discipline for the ensemble layout: "auto" (the
+            # default, and the only value older specs could mean) is
+            # omitted, so an explicit "dense"/"sparse" choice — which
+            # changes how randomness is consumed — addresses its own cache
+            # entries while auto specs keep their canonical identity.
+            out["engine"] = self.engine
         return out
 
     @classmethod
@@ -308,7 +331,8 @@ def simulate(
     the result is bit-identical to building the objects by hand.  The
     spec's ``record`` field selects the metrics traced into
     ``ProcessResult.trace`` (``record_trajectory=`` is the deprecated
-    spelling of adding ``"counts"``).
+    spelling of adding ``"counts"``).  The spec's ``engine`` field is an
+    ensemble-layout choice and does not apply to a single trajectory.
     """
     resolved = spec.resolve()
     return run_process(
@@ -346,4 +370,5 @@ def simulate_ensemble(
         record=resolved.record,
         rng=spec.seed if rng is None else rng,
         batch=batch,
+        engine=spec.engine,
     )

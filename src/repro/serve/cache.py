@@ -6,7 +6,13 @@ version)``.  :func:`cache_key` hashes exactly that triple;
 :class:`ResultCache` stores results under the key in a small in-memory LRU
 backed by an on-disk store (one ``.npz`` of arrays plus one ``.json``
 manifest per entry), so warm lookups cost a dict probe and cold processes
-can still reuse results written by earlier runs.
+can still reuse results written by earlier runs.  Recorded
+:class:`~repro.core.metrics.TraceSet` columns are stored *packed* — only
+each replica's valid prefix, deflate-compressed via
+``np.savez_compressed`` — and unpacked to the bit-identical zero-padded
+columnar layout on read; with heterogeneous stopping the dense blocks
+are mostly padding, so trace-bearing entries shrink by an integer factor
+(measured in ``benchmarks/test_bench_sparse.py``).
 
 Correctness contract (asserted in ``tests/test_serve.py``):
 
@@ -138,16 +144,23 @@ def _encode(result: EnsembleResult) -> tuple[dict, dict[str, np.ndarray]]:
     trace = result.trace
     if trace is not None:
         # Metric columns are stored by position (names in the manifest): the
-        # names are arbitrary registry strings, not valid npz keys.
+        # names are arbitrary registry strings, not valid npz keys.  They
+        # are *packed*: only each replica's valid prefix is stored (the
+        # padding past a replica's stop round is zero by construction, and
+        # ``n_recorded`` + the recorded round count reconstruct it exactly)
+        # — with heterogeneous stopping a dense (R, T, ...) block is mostly
+        # padding, so this is where the cache's disk weight went.
         manifest["trace"] = {
             "n": int(trace.n),
             "every": int(trace.every),
             "metrics": list(trace.metrics),
+            "packed": True,
         }
         arrays["trace_rounds"] = trace.rounds
         arrays["trace_n_recorded"] = trace.n_recorded
+        valid = trace.valid_mask()
         for position, name in enumerate(trace.metrics):
-            arrays[f"trace_values_{position}"] = trace.data[name]
+            arrays[f"trace_values_{position}"] = trace.data[name][valid]
     return manifest, arrays
 
 
@@ -158,15 +171,31 @@ def _decode(manifest: dict, arrays) -> EnsembleResult:
     trace = None
     trace_meta = manifest.get("trace")
     if trace_meta is not None:
+        rounds = np.asarray(arrays["trace_rounds"])
+        n_recorded = np.asarray(arrays["trace_n_recorded"])
+        data: dict[str, np.ndarray] = {}
+        if trace_meta.get("packed"):
+            # Unpack the valid prefixes back into the zero-padded columnar
+            # layout: bit-identical to the recorded TraceSet (asserted via
+            # digest() in the tests and the CI cold/warm smoke).
+            n_rounds = int(rounds.size)
+            valid = np.arange(n_rounds)[None, :] < n_recorded[:, None]
+            for position, name in enumerate(trace_meta["metrics"]):
+                flat = np.asarray(arrays[f"trace_values_{position}"])
+                column = np.zeros(
+                    (int(n_recorded.size), n_rounds) + flat.shape[1:], dtype=flat.dtype
+                )
+                column[valid] = flat
+                data[str(name)] = column
+        else:  # pre-packing dense layout (defence in depth; keyed out by schema)
+            for position, name in enumerate(trace_meta["metrics"]):
+                data[str(name)] = np.asarray(arrays[f"trace_values_{position}"])
         trace = TraceSet(
             n=int(trace_meta["n"]),
             every=int(trace_meta["every"]),
-            rounds=np.asarray(arrays["trace_rounds"]),
-            n_recorded=np.asarray(arrays["trace_n_recorded"]),
-            data={
-                str(name): np.asarray(arrays[f"trace_values_{position}"])
-                for position, name in enumerate(trace_meta["metrics"])
-            },
+            rounds=rounds,
+            n_recorded=n_recorded,
+            data=data,
         )
     return EnsembleResult(
         rounds=np.asarray(arrays["rounds"]),
@@ -384,10 +413,15 @@ class ResultCache:
         # marks a complete entry, so a crash mid-write leaves a miss, not a
         # corrupt hit.  The ".tmp" suffix keeps in-flight files out of the
         # "*.json"/"*.npz" entry namespace that stats()/clear() glob over.
+        # Trace-bearing entries are the heavy ones (per-round columns); the
+        # zlib pass typically shrinks their zero-padding-free prefixes by
+        # a further integer factor.  Trace-less entries stay uncompressed —
+        # they are a handful of per-replica scalars, not worth the CPU.
+        save = np.savez_compressed if manifest.get("trace") else np.savez
         with tempfile.NamedTemporaryFile(
             dir=self.root, suffix=_ARRAYS_SUFFIX + ".tmp", delete=False
         ) as handle:
-            np.savez(handle, **arrays)
+            save(handle, **arrays)
             tmp_arrays = handle.name
         os.replace(tmp_arrays, arrays_path)
         with tempfile.NamedTemporaryFile(

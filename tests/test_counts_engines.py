@@ -317,6 +317,150 @@ class TestEngineSelection:
         assert HPlurality(4).supports_exact_law()
 
 
+class TestSparseEnsembleCrossValidation:
+    """Sparse vs dense vs agent engines agree with the exact law.
+
+    The sparse layout consumes randomness differently, so equality is
+    statistical: the fixture support is embedded at scattered positions
+    inside a large dead color space, one-round ensembles are aggregated,
+    and the observed counts are chi-square/TV-tested against the dense
+    law restricted to the support — for the sparse engine, the dense
+    engine and the agent engine alike, closing the three-way loop.
+    """
+
+    BIG_K = 4096
+
+    def _embed(self, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        k = counts.size
+        positions = np.linspace(17, self.BIG_K - 19, k).astype(np.int64)
+        dense = np.zeros(self.BIG_K, dtype=np.int64)
+        dense[positions] = counts * 40  # scale so expected cells stay large
+        return dense, positions
+
+    def _one_round_counts(self, dynamics, dense0, engine, seed, replicas=150):
+        ens = run_ensemble(
+            dynamics, Configuration(dense0), replicas, rng=seed, max_rounds=1, engine=engine
+        )
+        assert ens.final_counts is not None
+        assert (ens.final_counts.sum(axis=1) == dense0.sum()).all()
+        return ens.final_counts.sum(axis=0).astype(float), replicas
+
+    @pytest.mark.parametrize("k", (3, 5, 8))
+    def test_three_majority_engines_match_law(self, k):
+        dense0, positions = self._embed(COUNTS[k])
+        law = ThreeMajority().color_law(dense0)[positions]
+        n = int(dense0.sum())
+        for engine, dynamics, seed in (
+            ("sparse", ThreeMajority(), 11),
+            ("dense", ThreeMajority(), 12),
+            ("sparse", ThreeMajority(engine="agent"), 13),
+        ):
+            observed, replicas = self._one_round_counts(dynamics, dense0, engine, seed)
+            # All mass stays on the embedded support in every engine.
+            assert observed.sum() == n * replicas
+            _chi_square_ok(observed[positions], law, n * replicas)
+
+    def test_three_input_rule_sparse_matches_law(self):
+        dense0, positions = self._embed(COUNTS[5])
+        n = int(dense0.sum())
+        for rule in (median_rule(), skewed_rule((1, 3, 2))):
+            law = rule.color_law(dense0)[positions]
+            observed, replicas = self._one_round_counts(rule, dense0, "sparse", 17)
+            _chi_square_ok(observed[positions], law, n * replicas)
+
+    def test_hplurality_sparse_reenables_exact_law_and_matches_it(self):
+        # Dense auto at k = 4096 would step agent-level (table too large);
+        # compacted to s = 5 the composition law is back — and must still
+        # agree with the law computed on the dense embedding.
+        dyn = HPlurality(5)
+        dense0, positions = self._embed(COUNTS[5])
+        assert dyn.resolved_engine(self.BIG_K) == "agent"
+        assert dyn.resolved_engine(COUNTS[5].size) == "counts"
+        law = dyn.color_law(COUNTS[5] * 40)  # compacted-axis law == dense restricted
+        observed, replicas = self._one_round_counts(dyn, dense0, "sparse", 19)
+        _chi_square_ok(observed[positions], law, int(dense0.sum()) * replicas)
+
+    def test_sparse_and_dense_full_runs_statistically_equivalent(self):
+        dense0, positions = self._embed(np.array([15, 8, 2]))
+        sparse = run_ensemble(ThreeMajority(), Configuration(dense0), 64, rng=1, max_rounds=2_000, engine="sparse")
+        dense = run_ensemble(ThreeMajority(), Configuration(dense0), 64, rng=2, max_rounds=2_000, engine="dense")
+        assert sparse.convergence_rate == dense.convergence_rate == 1.0
+        assert abs(sparse.plurality_win_rate - dense.plurality_win_rate) < 0.25
+        assert abs(sparse.rounds_summary()["median"] - dense.rounds_summary()["median"]) < 3.0
+
+
+class TestBatchedAgentEngines:
+    """The replica-batched agent ``step_many`` draws from the same law.
+
+    The batched path replaces a per-replica Python loop with one
+    offset-flattened categorical block; bit streams differ, so the checks
+    are distributional — aggregated batched steps against the exact law
+    (the per-replica path is validated against the same law above, which
+    closes the batched ≡ per-replica loop).
+    """
+
+    def _aggregate(self, dynamics, counts, seed, batches=30, replicas=20):
+        rng = np.random.default_rng(seed)
+        batch = np.tile(counts, (replicas, 1))
+        acc = np.zeros(counts.size)
+        for _ in range(batches):
+            out = dynamics.step_many(batch, rng)
+            assert out.shape == batch.shape
+            assert (out.sum(axis=1) == counts.sum()).all()
+            acc += out.sum(axis=0)
+        return acc, int(counts.sum()) * batches * replicas
+
+    def test_three_majority_agent_batch_matches_law(self):
+        observed, total = self._aggregate(ThreeMajority(engine="agent"), COUNTS[5], 23)
+        _chi_square_ok(observed, three_majority_law(COUNTS[5]), total)
+
+    def test_three_majority_uniform_tiebreak_batch_matches_law(self):
+        dyn = ThreeMajority(engine="agent", tie_break="uniform")
+        observed, total = self._aggregate(dyn, COUNTS[5], 29)
+        _chi_square_ok(observed, three_majority_law(COUNTS[5]), total)
+
+    def test_three_input_rule_agent_batch_matches_law(self):
+        for rule in (median_rule(), min_rule(), skewed_rule((1, 3, 2))):
+            agent = _agent_variant(rule)
+            observed, total = self._aggregate(agent, COUNTS[5], 31)
+            _chi_square_ok(observed, rule.color_law(COUNTS[5]), total)
+
+    @pytest.mark.parametrize("h", (4, 5))
+    def test_hplurality_agent_batch_matches_composition_law(self, h):
+        observed, total = self._aggregate(HPlurality(h, engine="agent"), COUNTS[5], 37 + h)
+        _chi_square_ok(observed, HPlurality(h).color_law(COUNTS[5]), total)
+
+    def test_ragged_totals_fall_back_to_per_row_path(self, rng):
+        ragged = np.array([[50, 30, 20], [10, 5, 5], [2, 1, 0]])
+        for dyn in (
+            ThreeMajority(engine="agent"),
+            HPlurality(6),
+            _agent_variant(majority_rule()),
+        ):
+            out = dyn.step_many(ragged, rng)
+            assert (out.sum(axis=1) == ragged.sum(axis=1)).all(), dyn.name
+
+    def test_batched_categorical_distribution(self, rng):
+        from repro.core.samplers import categorical_matrix_batch
+
+        counts = np.tile([50, 30, 20], (40, 1))
+        samples = categorical_matrix_batch(counts, 4, rng)
+        assert samples.shape == (40, 100, 4)
+        freq = np.bincount(samples.ravel(), minlength=3) / samples.size
+        assert np.abs(freq - np.array([0.5, 0.3, 0.2])).max() < 0.02
+
+    def test_batched_categorical_rejects_bad_input(self, rng):
+        from repro.core.samplers import categorical_matrix_batch
+
+        with pytest.raises(ValueError, match="same positive total"):
+            categorical_matrix_batch(np.array([[2, 1], [1, 1]]), 3, rng)
+        with pytest.raises(ValueError, match="batch"):
+            categorical_matrix_batch(np.array([2, 1]), 3, rng)
+        with pytest.raises(ValueError, match="h >= 1"):
+            categorical_matrix_batch(np.array([[2, 1]]), 0, rng)
+        assert categorical_matrix_batch(np.zeros((0, 3), dtype=np.int64), 2, rng).shape == (0, 0, 2)
+
+
 class TestCorruptMany:
     def _batch(self, rng, rows=12, k=5, n=200):
         batch = np.stack(

@@ -347,6 +347,62 @@ class TestEveryDynamicsSimulates:
         assert int(res.final_counts.sum()) <= 300  # colored mass (undecided excluded)
 
 
+class TestEngineField:
+    """The ``engine`` field: validation, identity discipline, facade wiring."""
+
+    def test_defaults_to_auto_and_stays_out_of_canonical_json(self):
+        spec = ScenarioSpec(dynamics="voter", n=100, k=2)
+        assert spec.engine == "auto"
+        assert "engine" not in spec.canonical_json()
+        assert "engine" not in spec.to_dict()
+
+    def test_explicit_engine_round_trips_and_changes_identity(self):
+        for engine in ("dense", "sparse"):
+            spec = ScenarioSpec(dynamics="voter", n=100, k=2, engine=engine)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+            assert f'"engine":"{engine}"' in spec.canonical_json()
+        auto = ScenarioSpec(dynamics="voter", n=100, k=2)
+        dense = ScenarioSpec(dynamics="voter", n=100, k=2, engine="dense")
+        assert auto.canonical_json() != dense.canonical_json()
+        assert hash(auto) != hash(dense)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            ScenarioSpec(dynamics="voter", n=100, k=2, engine="fast")
+
+    def test_facade_dense_engine_is_bit_identical_to_direct(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="paper-biased", n=8_000, k=4,
+            replicas=5, max_rounds=2_000, seed=4, engine="dense",
+        )
+        facade = simulate_ensemble(spec)
+        direct = run_ensemble(
+            ThreeMajority(), paper_biased(8_000, 4), 5, max_rounds=2_000, rng=4,
+            engine="dense",
+        )
+        assert np.array_equal(facade.rounds, direct.rounds)
+        assert np.array_equal(facade.final_counts, direct.final_counts)
+
+    def test_facade_sparse_engine_runs_large_k(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="balanced", n=2_000, k=512,
+            replicas=4, max_rounds=5_000, seed=1, engine="sparse",
+            stopping={"rule": "plurality-fraction", "fraction": 0.5},
+        )
+        ens = simulate_ensemble(spec)
+        assert ens.final_counts.shape == (4, 512)
+        assert (ens.final_counts.sum(axis=1) == 2_000).all()
+
+    def test_facade_sparse_with_ineligible_scenario_raises(self):
+        spec = ScenarioSpec(
+            dynamics="3-majority", initial="balanced", n=1_000, k=64,
+            replicas=2, seed=0, engine="sparse",
+            adversary="targeted", adversary_params={"budget": 2},
+        )
+        with pytest.raises(ValueError, match="support-preserving"):
+            simulate_ensemble(spec)
+
+
 class TestRecordField:
     """The ``record`` field: normalization, round-trips, strictness, facades."""
 
