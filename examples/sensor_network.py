@@ -6,12 +6,14 @@ whole network.  The paper analyses the clique; this example asks how the
 same 3-sample rule behaves on realistic topologies — the natural
 "what if" a systems reader asks next.
 
-The clique baseline is a declarative :class:`repro.ScenarioSpec` with a
-``record=`` observation spec: the returned :class:`repro.TraceSet` traces
-support size and distance-to-consensus per round, replacing any bespoke
-measurement loop.  The graph topologies (random-regular, torus, cycle,
-barbell) then run on the agent-level graph substrate at equal n and equal
-initial bias.
+Every topology is one declarative :class:`repro.ScenarioSpec` away: the
+clique baseline records support size and distance-to-consensus per round
+through ``record=``, and the physical topologies (random-regular, torus,
+cycle) just set the spec's ``topology`` field — the same path as
+``repro simulate --topology torus``.  All runs share the replica-batched
+graph engine; only the barbell deadlock at the end drops to an explicit
+per-agent color vector, which is what :class:`GraphPluralityProcess`
+is still for.
 
 Run:  python examples/sensor_network.py
 """
@@ -20,58 +22,47 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Configuration, ScenarioSpec, simulate_ensemble
+from repro import ScenarioSpec, simulate_ensemble
 from repro.analysis import trace_round_means
-from repro.graphs import (
-    GraphPluralityProcess,
-    barbell,
-    cycle,
-    random_coloring,
-    random_regular,
-    torus,
-)
+from repro.graphs import GraphPluralityProcess, barbell
 
 N, K, BIAS = 1_024, 4, 200
 REPLICAS, MAX_ROUNDS = 8, 40_000
 
 
-def clique_baseline() -> tuple[float, float, object]:
-    """The paper's clique, as data: spec + recorded observation."""
-    spec = ScenarioSpec(
+def sensor_spec(topology: str | None = None, **topology_params) -> ScenarioSpec:
+    """One spec per topology; everything else held equal."""
+    return ScenarioSpec(
         dynamics="3-majority",
         initial="biased",
         initial_params={"bias": BIAS},
         n=N,
         k=K,
+        topology=topology,
+        topology_params=topology_params,
         replicas=REPLICAS,
         max_rounds=MAX_ROUNDS,
         seed=1,
         record=["support-size", "tv-monochromatic"],  # observe, declaratively
     )
+
+
+def measure(spec: ScenarioSpec) -> tuple[float, float]:
+    """Win rate + median rounds (budget-censored) for one spec."""
     ens = simulate_ensemble(spec)
     med = float(np.median(np.where(ens.converged, ens.rounds, MAX_ROUNDS)))
-    return ens.plurality_win_rate, med, ens.trace
-
-
-def measure(topo, config: Configuration, replicas: int, max_rounds: int, seed: int):
-    """Win rate + median rounds of the 3-sample rule on one graph topology."""
-    wins, rounds = 0, []
-    proc = GraphPluralityProcess(topo, h=3)
-    for rep in range(replicas):
-        rng = np.random.default_rng((seed, rep))
-        colors = random_coloring(topo, config, rng)
-        res = proc.run(colors, k=config.k, rng=rng, max_rounds=max_rounds)
-        wins += int(res.plurality_won)
-        rounds.append(res.rounds if res.converged else max_rounds)
-    return wins / replicas, float(np.median(rounds))
+    return ens.plurality_win_rate, med
 
 
 def main() -> None:
-    config = Configuration.biased(N, K, BIAS)
-    print(f"{N} sensors, {K} readings, initial bias {config.bias}\n")
+    print(f"{N} sensors, {K} readings, initial bias {BIAS}\n")
 
     # --- the clique, declaratively, with a recorded trace ----------------
-    rate, med, trace = clique_baseline()
+    clique_spec = sensor_spec()
+    ens = simulate_ensemble(clique_spec)
+    rate = ens.plurality_win_rate
+    med = float(np.median(np.where(ens.converged, ens.rounds, MAX_ROUNDS)))
+    trace = ens.trace
     print(f"clique baseline (ScenarioSpec + record=): win rate {rate:.2f}, "
           f"median rounds {med:.0f}")
     support = trace_round_means(trace, "support-size")
@@ -82,23 +73,24 @@ def main() -> None:
               f"{support['mean'][t]:.2f} colors, TV {tv['mean'][t]:.3f} "
               f"({int(support['replicas'][t])} replicas still running)")
 
-    # --- physical topologies (agent-level graph substrate) ---------------
-    topologies = [
-        ("random 8-regular", random_regular(N, 8, seed=0)),
-        ("torus 32x32", torus(32, 32)),
-        ("cycle", cycle(N)),
+    # --- physical topologies: same spec, one extra field ------------------
+    variants = [
+        ("random 8-regular", sensor_spec("random-regular", d=8, seed=0)),
+        ("torus 32x32", sensor_spec("torus", rows=32, cols=32)),
+        ("cycle", sensor_spec("cycle")),
     ]
     header = f"{'topology':>18} | {'plurality wins':>14} | {'median rounds':>13}"
     print()
     print(header)
     print("-" * len(header))
     print(f"{'clique (paper)':>18} | {rate:>14.2f} | {med:>13.0f}")
-    for name, topo in topologies:
-        t_rate, t_med = measure(topo, config, replicas=REPLICAS,
-                                max_rounds=MAX_ROUNDS, seed=1)
+    for name, spec in variants:
+        t_rate, t_med = measure(spec)
         print(f"{name:>18} | {t_rate:>14.2f} | {t_med:>13.0f}")
 
     # --- community deadlock on the barbell --------------------------------
+    # Needs a hand-placed color vector (each half unanimous), which specs
+    # deliberately cannot express — the agent-level escape hatch.
     m = N // 2
     topo = barbell(m)
     colors = np.zeros(2 * m, dtype=np.int64)

@@ -11,9 +11,12 @@ on the clique (and, as an extension, on general graphs):
   3-input class of Theorem 3), F-bounded adversaries, process runners;
 * :mod:`repro.analysis` — the paper's exact expectation formulas, Chernoff
   machinery, exact Markov-chain ground truth, scaling-law fitting;
-* :mod:`repro.graphs` — agent-level simulation on arbitrary topologies;
-* :mod:`repro.experiments` — the E1–E10 experiment suite reproducing each
-  theorem/lemma of the paper (see DESIGN.md for the index).
+* :mod:`repro.graphs` — replica-batched simulation on arbitrary topologies
+  (named generators in :data:`repro.core.registry.TOPOLOGIES`, reachable
+  from a :class:`~repro.scenario.ScenarioSpec` via its ``topology`` field);
+* :mod:`repro.experiments` — the E1–E12 experiment suite reproducing each
+  theorem/lemma of the paper, plus the beyond-the-paper topology family
+  E13 (see DESIGN.md for the index).
 
 Quickstart
 ----------
@@ -29,6 +32,7 @@ from .core import (
     DYNAMICS,
     METRICS,
     STOPPING,
+    TOPOLOGIES,
     WORKLOADS,
     Adversary,
     AnyOfStop,
@@ -83,7 +87,7 @@ from .core import (
 from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
 from .serve import BatchReport, ResultCache, cache_key, run_batch
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ADVERSARIES",
@@ -113,6 +117,7 @@ __all__ = [
     "RoundBudgetStop",
     "STOPPING",
     "ScenarioSpec",
+    "TOPOLOGIES",
     "StoppingRule",
     "TargetedAdversary",
     "ThreeInputRule",

@@ -8,10 +8,13 @@ Usage (installed as ``repro`` or via ``python -m repro.cli``)::
     repro run all --scale smoke --csv-dir out/
     repro scenarios
     repro metrics
+    repro topologies
     repro simulate scenario.json --json
     repro simulate --dynamics 3-majority --initial paper-biased \\
         --n 100000 --k 8 --replicas 32 --seed 0 \\
         --record bias,plurality-fraction --record-every 1
+    repro simulate --dynamics 3-majority --topology torus \\
+        --n 10000 --k 4 --replicas 16 --seed 0
     repro batch specs.json --json
     repro cache stats
     repro cache clear
@@ -22,7 +25,9 @@ executes one declarative :class:`~repro.scenario.ScenarioSpec` — from a
 JSON file or assembled from inline flags — and ``scenarios`` lists every
 registered dynamics/workload/adversary/stopping-rule name a spec may
 reference; ``metrics`` lists the per-round observables a spec's
-``record`` field (or ``--record``) may name.  ``batch`` pushes a JSON
+``record`` field (or ``--record``) may name; ``topologies`` lists the
+graph generators a spec's ``topology`` field (or ``--topology``) may
+name.  ``batch`` pushes a JSON
 array of scenarios through the :mod:`repro.serve` substrate
 (content-addressed result cache + sharded executor, recorded TraceSets
 included); ``cache`` inspects or clears that cache.
@@ -84,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
+    topologies = sub.add_parser(
+        "topologies", help="list registered graph topologies a spec may name"
+    )
+    topologies.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     sim = sub.add_parser(
         "simulate", help="run a declarative scenario (JSON file or inline flags)"
     )
@@ -91,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--dynamics", default=None, help="registered dynamics name")
     sim.add_argument("--initial", default=None, help="registered workload name")
     sim.add_argument("--adversary", default=None, help="registered adversary name")
+    sim.add_argument(
+        "--topology",
+        default=None,
+        help="registered graph topology name (see `repro topologies`; default: clique counts engine)",
+    )
     sim.add_argument("--n", type=int, default=None, help="number of agents")
     sim.add_argument("--k", type=int, default=None, help="number of colors")
     sim.add_argument("--replicas", type=int, default=None)
@@ -111,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--initial-params", type=_json_flag, default=None, help="JSON object")
     sim.add_argument("--adversary-params", type=_json_flag, default=None, help="JSON object")
+    sim.add_argument(
+        "--topology-params",
+        type=_json_flag,
+        default=None,
+        help='JSON object, e.g. \'{"rows": 50, "cols": 200}\' (needs --topology)',
+    )
     sim.add_argument(
         "--stopping",
         type=_json_flag,
@@ -228,11 +249,13 @@ def _spec_from_args(args: argparse.Namespace):
             "dynamics",
             "initial",
             "adversary",
+            "topology",
             "n",
             "k",
             "dynamics_params",
             "initial_params",
             "adversary_params",
+            "topology_params",
             "stopping",
         )
         clashes = [name for name in inline_only if getattr(args, name) is not None]
@@ -255,6 +278,8 @@ def _spec_from_args(args: argparse.Namespace):
         initial_params=args.initial_params or {},
         adversary=args.adversary,
         adversary_params=args.adversary_params or {},
+        topology=args.topology,
+        topology_params=args.topology_params or {},
         stopping=args.stopping,
         **overrides,
     )
@@ -292,6 +317,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"scenario: {spec.dynamics} on {spec.initial} "
         f"(n={spec.n}, k={spec.k}, replicas={spec.replicas}, seed={spec.seed}{engine_note})"
     )
+    if spec.topology:
+        params = f" {spec.topology_params}" if spec.topology_params else ""
+        print(f"topology: {spec.topology}{params}")
     if spec.adversary:
         print(f"adversary: {spec.adversary} {spec.adversary_params}")
     if spec.stopping:
@@ -451,8 +479,31 @@ def _cmd_metrics(as_json: bool) -> int:
     return 0
 
 
+def _cmd_topologies(as_json: bool) -> int:
+    from .core.registry import TOPOLOGIES
+    from .scenario import ScenarioSpec
+
+    ScenarioSpec.registries()  # force registration of every component
+    if as_json:
+        payload = {
+            name: {
+                "summary": entry.summary,
+                "params": [p for p in entry.parameter_names() if p != "n"],
+            }
+            for name, entry in TOPOLOGIES.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("topologies (usable in ScenarioSpec topology= / repro simulate --topology):")
+    for name, entry in TOPOLOGIES.items():
+        params = ", ".join(p for p in entry.parameter_names() if p != "n")
+        suffix = f"  [{params}]" if params else ""
+        print(f"  {name:20s} {entry.summary}{suffix}")
+    return 0
+
+
 def _cmd_scenarios(as_json: bool) -> int:
-    from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS
+    from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, TOPOLOGIES, WORKLOADS
     from .scenario import ScenarioSpec
 
     ScenarioSpec.registries()  # force registration of every component
@@ -463,6 +514,7 @@ def _cmd_scenarios(as_json: bool) -> int:
         ("dynamics", DYNAMICS),
         ("workloads (initial)", WORKLOADS),
         ("adversaries", ADVERSARIES),
+        ("topologies", TOPOLOGIES),
         ("stopping rules", STOPPING),
         ("metrics (record)", METRICS),
     ):
@@ -507,6 +559,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios(args.json)
     if args.command == "metrics":
         return _cmd_metrics(args.json)
+    if args.command == "topologies":
+        return _cmd_topologies(args.json)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "batch":

@@ -28,7 +28,7 @@ from .process import (
     run_process,
     sparse_ineligibility,
 )
-from .registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS, Registry
+from .registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, TOPOLOGIES, WORKLOADS, Registry
 from .rng import derive_seed, make_rng, spawn_streams, stream_iter
 from .stopping import (
     AnyOfStop,
@@ -74,6 +74,7 @@ __all__ = [
     "EnsembleResult",
     "HPlurality",
     "METRICS",
+    "TOPOLOGIES",
     "MedianDynamics",
     "Metric",
     "MetricThresholdStop",

@@ -79,6 +79,18 @@ selects an **ensemble layout** via its own ``engine=`` keyword:
 * ``"auto"`` — sparse once ``k`` is large (and the dynamics / adversary /
   stopping rule are all sparse-eligible), dense otherwise.
 
+A third axis is the **topology**: everything above assumes the clique,
+where anonymous counts are a Markov chain.  A
+:class:`~repro.scenario.ScenarioSpec` with a ``topology`` field instead
+runs on the **graph engine** (:mod:`repro.graphs.ensemble`) — the state
+per replica is the full ``(n,)`` color vector, ensembles step an
+``(R, n)`` matrix through one CSR neighbor-gather per round, and the
+per-agent rule is the dynamics' :class:`~repro.graphs.ensemble.GraphKernel`
+(the same agent-level reductions the clique engines use, so the graph
+engine on the clique topology cross-validates against the counts law).
+Dynamics with extra non-color state (``undecided-state``) have no graph
+kernel; :func:`repro.graphs.ensemble.graph_ineligibility` explains why.
+
 The agent-level paths are retained everywhere they exist because they are
 the *statistical ground truth* the counts-level laws are validated against
 (``tests/test_counts_engines.py``); their ``step_many`` batches the

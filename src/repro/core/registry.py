@@ -17,7 +17,12 @@ exist:
   :mod:`repro.core.stopping`;
 * :data:`METRICS` — the vectorized per-round observables of
   :mod:`repro.core.metrics` a scenario's ``record`` field may name
-  (``repro metrics`` lists them).
+  (``repro metrics`` lists them);
+* :data:`TOPOLOGIES` — named graph generators with the uniform signature
+  ``fn(n, **params) -> Topology`` (``"clique"``, ``"torus"``,
+  ``"random-regular"``, ...), populated by :mod:`repro.graphs.topology`
+  and selected through a scenario's ``topology`` field (``repro
+  topologies`` lists them).
 
 Entries are added with the :meth:`Registry.register` decorator at module
 import time; :meth:`Registry.build` validates the parameter dict against
@@ -40,6 +45,7 @@ __all__ = [
     "WORKLOADS",
     "STOPPING",
     "METRICS",
+    "TOPOLOGIES",
 ]
 
 
@@ -159,3 +165,8 @@ STOPPING = Registry("stopping rule")
 #: Per-round observables a scenario's ``record`` field may name
 #: (see :mod:`repro.core.metrics`).
 METRICS = Registry("metric")
+
+#: Graph generators a scenario's ``topology`` field may name, with the
+#: uniform signature ``fn(n, **params) -> Topology``.  Populated by
+#: :mod:`repro.graphs.topology` at import time.
+TOPOLOGIES = Registry("topology")

@@ -14,12 +14,13 @@ from .e09_landscape import SPEC as E9
 from .e10_phases import SPEC as E10
 from .e11_crossmodel import SPEC as E11
 from .e12_meanfield import SPEC as E12
+from .e13_topology import SPEC as E13
 from .harness import ExperimentSpec
 
 __all__ = ["ALL_EXPERIMENTS", "get_experiment", "experiment_ids"]
 
 ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
-    spec.id: spec for spec in (E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12)
+    spec.id: spec for spec in (E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13)
 }
 
 

@@ -1,6 +1,19 @@
-"""General-graph agent-level substrate (extension beyond the paper's clique)."""
+"""General-graph substrate (extension beyond the paper's clique).
+
+Topologies are CSR-packed (:mod:`~repro.graphs.topology`, registered in
+:data:`~repro.core.registry.TOPOLOGIES`); the replica-batched engine
+(:mod:`~repro.graphs.ensemble`) runs them through the same
+spec → engine → trace → cache stack as the clique runners.
+"""
 
 from .agentsim import GraphPluralityProcess, GraphProcessResult, GraphState, random_coloring
+from .ensemble import (
+    GraphKernel,
+    graph_ineligibility,
+    graph_kernel,
+    run_graph_ensemble,
+    run_graph_process,
+)
 from .topology import (
     Topology,
     barbell,
@@ -13,6 +26,7 @@ from .topology import (
 )
 
 __all__ = [
+    "GraphKernel",
     "GraphPluralityProcess",
     "GraphProcessResult",
     "GraphState",
@@ -22,7 +36,11 @@ __all__ = [
     "complete_bipartite",
     "cycle",
     "erdos_renyi",
+    "graph_ineligibility",
+    "graph_kernel",
     "random_coloring",
     "random_regular",
+    "run_graph_ensemble",
+    "run_graph_process",
     "torus",
 ]

@@ -21,9 +21,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import Configuration
+from ..core.metrics import RecordSpec
 from ..core.rng import make_rng
 from ..core.samplers import row_plurality
 from ..core.threeinput import ThreeInputRule
+from .ensemble import GraphKernel, run_graph_colors
 from .topology import Topology
 
 __all__ = ["GraphState", "GraphPluralityProcess", "random_coloring"]
@@ -99,6 +101,25 @@ class GraphPluralityProcess:
             return seen[:, 0]
         return row_plurality(seen, k, rng)
 
+    def kernel(self, k: int) -> GraphKernel:
+        """This process's per-agent rule as a shared-engine kernel."""
+        if self.rule is not None:
+            rule = self.rule
+            return GraphKernel(
+                h=3,
+                reduce=lambda own, seen, rng: rule.apply(
+                    seen[:, 0], seen[:, 1], seen[:, 2], rng
+                ),
+                consumes_rng=rule.distinct_choice == "uniform",
+            )
+        if self.h == 1:
+            return GraphKernel(h=1, reduce=lambda own, seen, rng: seen[:, 0], consumes_rng=False)
+        return GraphKernel(
+            h=self.h,
+            reduce=lambda own, seen, rng: row_plurality(seen, k, rng),
+            consumes_rng=True,
+        )
+
     def run(
         self,
         initial: GraphState | np.ndarray,
@@ -108,7 +129,16 @@ class GraphPluralityProcess:
         rng: int | np.random.Generator | None = None,
         record_counts: bool = False,
     ) -> "GraphProcessResult":
-        """Run to consensus or the round budget."""
+        """Run to consensus or the round budget.
+
+        .. deprecated::
+            Thin shim over the shared engine
+            (:func:`~repro.graphs.ensemble.run_graph_colors`): prefer a
+            :class:`~repro.scenario.ScenarioSpec` with a ``topology``
+            field, or :func:`~repro.graphs.ensemble.run_graph_process`,
+            which return the standard result/trace types.  Kept because
+            it accepts an explicit color vector.
+        """
         generator = make_rng(rng)
         if isinstance(initial, GraphState):
             colors = initial.colors.copy()
@@ -117,24 +147,24 @@ class GraphPluralityProcess:
             colors = np.asarray(initial, dtype=np.int64).copy()
             if k is None:
                 k = int(colors.max()) + 1
-        counts0 = np.bincount(colors, minlength=k)
-        plurality_color = int(np.argmax(counts0))
-        history: list[np.ndarray] = [counts0.astype(np.int64)]
-
-        rounds = 0
-        while rounds < max_rounds and not (colors == colors[0]).all():
-            colors = self.step(colors, k, generator)
-            rounds += 1
-            if record_counts:
-                history.append(np.bincount(colors, minlength=k).astype(np.int64))
-        converged = bool((colors == colors[0]).all())
+        record = RecordSpec(metrics=("counts",), every=1) if record_counts else None
+        result, final_colors = run_graph_colors(
+            colors,
+            k,
+            self.kernel(k),
+            self.topology,
+            max_rounds=max_rounds,
+            stopping=None,
+            record=record,
+            generator=generator,
+        )
         return GraphProcessResult(
-            converged=converged,
-            winner=int(colors[0]) if converged else None,
-            rounds=rounds,
-            plurality_color=plurality_color,
-            final_state=GraphState(colors, k),
-            counts_history=np.asarray(history) if record_counts else None,
+            converged=result.converged,
+            winner=result.winner,
+            rounds=result.rounds,
+            plurality_color=result.plurality_color,
+            final_state=GraphState(final_colors, k),
+            counts_history=result.trace.replica(0, "counts") if record_counts else None,
         )
 
 

@@ -50,7 +50,7 @@ from .core.process import (
     run_ensemble,
     run_process,
 )
-from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, WORKLOADS
+from .core.registry import ADVERSARIES, DYNAMICS, METRICS, STOPPING, TOPOLOGIES, WORKLOADS
 from .core.stopping import StoppingRule, stopping_from_dict
 
 __all__ = ["ScenarioSpec", "ResolvedScenario", "simulate", "simulate_ensemble"]
@@ -63,12 +63,15 @@ def _ensure_registered() -> None:
 
     The dynamics/adversary/stopping registrations ride on ``repro.core``
     (already imported above); the workload generators live one layer up in
-    :mod:`repro.experiments.workloads`, imported lazily here to keep
-    ``repro.core`` free of an upward dependency.
+    :mod:`repro.experiments.workloads`, and the topology generators in
+    :mod:`repro.graphs.topology` — both imported lazily here to keep
+    ``repro.core`` free of upward dependencies (and the networkx import
+    off the non-graph paths).
     """
     global _registered
     if not _registered:
         from .experiments import workloads  # noqa: F401 — import registers WORKLOADS
+        from .graphs import topology  # noqa: F401 — import registers TOPOLOGIES
 
         _registered = True
 
@@ -92,13 +95,20 @@ def _checked_int(name: str, value: object, minimum: int) -> int:
 
 @dataclass(frozen=True)
 class ResolvedScenario:
-    """A spec's names resolved to live objects, ready for the runners."""
+    """A spec's names resolved to live objects, ready for the runners.
+
+    ``topology`` is a built :class:`~repro.graphs.topology.Topology` when
+    the spec names one (the facades then dispatch to the graph engine of
+    :mod:`repro.graphs.ensemble`), ``None`` for the counts-level clique
+    runners.
+    """
 
     dynamics: Dynamics
     initial: Configuration
     adversary: Adversary | None
     stopping: StoppingRule | None
     record: RecordSpec | None = None
+    topology: object | None = None
 
 
 @dataclass(frozen=True)
@@ -122,9 +132,15 @@ class ScenarioSpec:
     batch layout — ``"auto"`` (default), ``"dense"``, or the O(support)
     large-``k`` ``"sparse"`` mode; it changes how randomness is consumed,
     so it is part of the scenario's content address (``"auto"`` is
-    omitted from the canonical JSON, like an unset ``record``).  ``seed``
-    is the default stream for the :func:`simulate` facades (overridable
-    per call).
+    omitted from the canonical JSON, like an unset ``record``).
+    ``topology`` names a graph generator from ``repro topologies``
+    (``topology_params`` its parameters, ``n`` is passed automatically):
+    the scenario then runs agent-level on that graph through the
+    replica-batched engine of :mod:`repro.graphs.ensemble` instead of the
+    counts-level clique runners.  ``None`` (default) is the paper's
+    clique model, and is omitted from the canonical JSON so every
+    pre-topology cache key is preserved.  ``seed`` is the default stream
+    for the :func:`simulate` facades (overridable per call).
     """
 
     dynamics: str
@@ -140,6 +156,8 @@ class ScenarioSpec:
     replicas: int = 1
     max_rounds: int = 1_000_000
     engine: str = "auto"
+    topology: str | None = None
+    topology_params: dict[str, Any] = field(default_factory=dict)
     seed: int | None = 0
 
     def __post_init__(self):
@@ -172,6 +190,18 @@ class ScenarioSpec:
         if self.engine not in ENSEMBLE_ENGINES:
             raise ValueError(
                 f"engine must be one of {ENSEMBLE_ENGINES}, got {self.engine!r}"
+            )
+        if self.topology is not None and not isinstance(self.topology, str):
+            raise ValueError(f"topology must be a registry name or None, got {self.topology!r}")
+        object.__setattr__(
+            self, "topology_params", _checked_params("topology_params", self.topology_params)
+        )
+        if self.topology is None and self.topology_params:
+            raise ValueError("topology_params given without a topology name")
+        if self.topology is not None and self.engine != "auto":
+            raise ValueError(
+                "graph scenarios run on the graph engine; engine must stay 'auto' "
+                f"when topology is set (got engine={self.engine!r})"
             )
         if self.seed is not None:
             if isinstance(self.seed, bool) or not isinstance(self.seed, (int, np.integer)):
@@ -224,6 +254,14 @@ class ScenarioSpec:
             # changes how randomness is consumed — addresses its own cache
             # entries while auto specs keep their canonical identity.
             out["engine"] = self.engine
+        if self.topology is not None:
+            # Same discipline again: the clique (topology=None, the only
+            # scenario older specs could express) is omitted, so every
+            # pre-topology canonical JSON — and with it every existing
+            # content-addressed cache key — is preserved verbatim, while a
+            # graph scenario addresses its own entries.
+            out["topology"] = self.topology
+            out["topology_params"] = dict(self.topology_params)
         return out
 
     @classmethod
@@ -293,12 +331,33 @@ class ScenarioSpec:
         if self.record is not None:
             record = as_record_spec(self.record)
             record.resolve()  # validate every metric name against METRICS
+        topology = None
+        if self.topology is not None:
+            from .graphs.ensemble import graph_ineligibility
+            from .graphs.topology import Topology
+
+            if adversary is not None:
+                raise ValueError(
+                    "adversaries are not supported on graph topologies yet; "
+                    "drop the adversary or the topology"
+                )
+            reason = graph_ineligibility(dynamics)
+            if reason is not None:
+                raise ValueError(f"topology {self.topology!r} unavailable: {reason}")
+            topology = TOPOLOGIES.build(self.topology, self.n, **self.topology_params)
+            if not isinstance(topology, Topology):
+                raise TypeError(f"topology {self.topology!r} did not build a Topology")
+            if topology.n != self.n:
+                raise ValueError(
+                    f"topology {self.topology!r} built {topology.n} nodes, expected n={self.n}"
+                )
         return ResolvedScenario(
             dynamics=dynamics,
             initial=initial,
             adversary=adversary,
             stopping=stopping,
             record=record,
+            topology=topology,
         )
 
     def validate(self) -> "ScenarioSpec":
@@ -316,6 +375,7 @@ class ScenarioSpec:
             "adversaries": ADVERSARIES.names(),
             "stopping": STOPPING.names(),
             "metrics": METRICS.names(),
+            "topologies": TOPOLOGIES.names(),
         }
 
 
@@ -333,8 +393,24 @@ def simulate(
     ``ProcessResult.trace`` (``record_trajectory=`` is the deprecated
     spelling of adding ``"counts"``).  The spec's ``engine`` field is an
     ensemble-layout choice and does not apply to a single trajectory.
+    Specs naming a ``topology`` dispatch to the agent-level graph runner
+    (:func:`~repro.graphs.ensemble.run_graph_process`) with the same
+    result/trace contract.
     """
     resolved = spec.resolve()
+    if resolved.topology is not None:
+        from .graphs.ensemble import run_graph_process
+
+        return run_graph_process(
+            resolved.dynamics,
+            resolved.topology,
+            resolved.initial,
+            max_rounds=spec.max_rounds,
+            stopping=resolved.stopping,
+            record=resolved.record,
+            record_trajectory=record_trajectory,
+            rng=spec.seed if rng is None else rng,
+        )
     return run_process(
         resolved.dynamics,
         resolved.initial,
@@ -358,8 +434,26 @@ def simulate_ensemble(
     Thin facade over :func:`repro.core.process.run_ensemble`; the
     ``replicas``/``max_rounds``/``seed`` knobs come from the spec, with
     ``rng`` overriding the seed for callers that thread their own streams.
+    Specs naming a ``topology`` dispatch to the replica-batched graph
+    engine (:func:`~repro.graphs.ensemble.run_graph_ensemble`), which
+    returns the same :class:`~repro.core.process.EnsembleResult` contract
+    — stopping rules, traces and the serve cache work unchanged.
     """
     resolved = spec.resolve()
+    if resolved.topology is not None:
+        from .graphs.ensemble import run_graph_ensemble
+
+        return run_graph_ensemble(
+            resolved.dynamics,
+            resolved.topology,
+            resolved.initial,
+            spec.replicas,
+            max_rounds=spec.max_rounds,
+            stopping=resolved.stopping,
+            record=resolved.record,
+            rng=spec.seed if rng is None else rng,
+            batch=batch,
+        )
     return run_ensemble(
         resolved.dynamics,
         resolved.initial,

@@ -58,9 +58,12 @@ class TestScenarioCommands:
     def test_scenarios_json(self, capsys):
         assert main(["scenarios", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert set(data) == {"dynamics", "workloads", "adversaries", "stopping", "metrics"}
+        assert set(data) == {
+            "dynamics", "workloads", "adversaries", "topologies", "stopping", "metrics"
+        }
         assert "3-majority" in data["dynamics"]
         assert "plurality-fraction" in data["metrics"]
+        assert "torus" in data["topologies"]
 
     def test_simulate_inline(self, capsys):
         assert (
@@ -219,3 +222,84 @@ class TestMetricsCommands:
         )
         record = json.loads(capsys.readouterr().out)
         assert record["spec"]["dynamics_params"] == {"h": 4, "counts_table_cap": 500}
+
+
+class TestTopologyCommands:
+    def test_topologies_lists_registry(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("clique", "cycle", "torus", "random-regular",
+                     "erdos-renyi", "complete-bipartite", "barbell"):
+            assert name in out
+
+    def test_topologies_json(self, capsys):
+        assert main(["topologies", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "torus" in data
+        assert set(data["torus"]["params"]) == {"rows", "cols"}
+        assert data["random-regular"]["params"] == ["d", "seed"]
+
+    def test_simulate_topology_inline(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dynamics", "3-majority",
+                    "--initial", "biased",
+                    "--initial-params", '{"bias": 10}',
+                    "--topology", "torus",
+                    "--topology-params", '{"rows": 10, "cols": 12}',
+                    "--n", "120",
+                    "--k", "3",
+                    "--replicas", "3",
+                    "--seed", "0",
+                    "--record", "counts",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["topology"] == "torus"
+        assert record["spec"]["topology_params"] == {"rows": 10, "cols": 12}
+        assert record["trace"]["metrics"] == ["counts"]
+        assert len(record["trace"]["digest"]) == 64
+
+    def test_simulate_topology_human_output_names_topology(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dynamics", "3-majority",
+                    "--topology", "cycle",
+                    "--n", "60",
+                    "--k", "2",
+                    "--replicas", "2",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "topology: cycle" in out
+
+    def test_topology_flags_clash_with_file(self, tmp_path):
+        spec = ScenarioSpec(dynamics="3-majority", n=100, k=2)
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        with pytest.raises(SystemExit, match="--topology cannot be combined"):
+            main(["simulate", str(path), "--topology", "cycle"])
+        with pytest.raises(SystemExit, match="--topology-params cannot be combined"):
+            main(["simulate", str(path), "--topology-params", '{"rows": 2}'])
+
+    def test_topology_file_spec_round_trips(self, capsys, tmp_path):
+        spec = ScenarioSpec(
+            dynamics="3-majority", n=120, k=3, topology="torus",
+            topology_params={"rows": 10, "cols": 12}, replicas=2,
+            max_rounds=2_000, seed=4,
+        )
+        path = tmp_path / "graph.json"
+        spec.save(path)
+        assert main(["simulate", str(path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"] == spec.to_dict()

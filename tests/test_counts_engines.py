@@ -461,6 +461,44 @@ class TestBatchedAgentEngines:
         assert categorical_matrix_batch(np.zeros((0, 3), dtype=np.int64), 2, rng).shape == (0, 0, 2)
 
 
+class TestGraphCliqueCrossValidation:
+    """The clique-topology graph engine draws from the counts-engine law.
+
+    On the complete graph with self-loops every agent's sampling pool is
+    the whole population, so each agent's next color is marginally the
+    exact counts-level law.  Aggregated one-round graph-ensemble steps
+    must therefore pass the same chi-square/TV gate the counts engines
+    pass — closing the loop between the per-agent CSR substrate and the
+    anonymous (R, k) engines at equal (n, k, rounds).
+    """
+
+    def _one_round_graph_counts(self, dynamics, counts, seed, replicas=150):
+        from repro.graphs import clique, run_graph_ensemble
+
+        n = int(counts.sum())
+        ens = run_graph_ensemble(
+            dynamics, clique(n), Configuration(counts), replicas, max_rounds=1, rng=seed
+        )
+        assert ens.final_counts is not None
+        assert (ens.final_counts.sum(axis=1) == n).all()
+        return ens.final_counts.sum(axis=0).astype(float), n * replicas
+
+    @pytest.mark.parametrize("k", (3, 5, 8))
+    def test_three_majority_clique_matches_law(self, k):
+        observed, total = self._one_round_graph_counts(ThreeMajority(), COUNTS[k], 41 + k)
+        _chi_square_ok(observed, three_majority_law(COUNTS[k]), total)
+
+    def test_three_input_rules_clique_match_law(self):
+        for rule in (median_rule(), skewed_rule((1, 3, 2))):
+            observed, total = self._one_round_graph_counts(rule, COUNTS[5], 43)
+            _chi_square_ok(observed, rule.color_law(COUNTS[5]), total)
+
+    @pytest.mark.parametrize("h", (2, 4))
+    def test_hplurality_clique_matches_composition_law(self, h):
+        observed, total = self._one_round_graph_counts(HPlurality(h), COUNTS[5], 47 + h)
+        _chi_square_ok(observed, HPlurality(h).color_law(COUNTS[5]), total)
+
+
 class TestCorruptMany:
     def _batch(self, rng, rows=12, k=5, n=200):
         batch = np.stack(

@@ -51,12 +51,28 @@ class TestExamplesRun:
         assert out["stale_replicas"] <= 50
 
     def test_sensor_measure_unit(self):
+        # The example's core function, at toy scale: measure() takes one
+        # declarative spec, topology field included.
         module = _import_module("sensor_network")
-        from repro import Configuration
-        from repro.graphs import clique
+        from repro import ScenarioSpec
 
-        rate, med = module.measure(
-            clique(200), Configuration.biased(200, 3, 60), replicas=3, max_rounds=2_000, seed=0
+        spec = ScenarioSpec(
+            dynamics="3-majority",
+            initial="biased",
+            initial_params={"bias": 60},
+            n=200,
+            k=3,
+            replicas=3,
+            max_rounds=2_000,
+            seed=0,
         )
+        rate, med = module.measure(spec)
         assert rate == 1.0
         assert med < 100
+
+    def test_sensor_spec_builder_sets_topology(self):
+        module = _import_module("sensor_network")
+        spec = module.sensor_spec("torus", rows=32, cols=32)
+        assert spec.topology == "torus"
+        assert spec.topology_params == {"rows": 32, "cols": 32}
+        assert module.sensor_spec().topology is None

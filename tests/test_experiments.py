@@ -207,8 +207,8 @@ class TestHarness:
 
 
 class TestRegistry:
-    def test_all_twelve_registered(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 13)]
+    def test_all_thirteen_registered(self):
+        assert experiment_ids() == [f"E{i}" for i in range(1, 14)]
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e2").id == "E2"
@@ -333,3 +333,17 @@ class TestExperimentIntegration:
         # Far above the scale the ODE becomes faithful.
         assert rows[-1]["stochastic_win_rate"] >= 0.95
         assert rows[-1]["ode_is_faithful"]
+
+    def test_e13_topology(self):
+        t = get_experiment("E13")(scale="smoke", seed=1)
+        by_topo = {row["topology"]: row for row in t.rows}
+        assert set(by_topo) == {
+            "clique", "random-regular", "torus", "erdos-renyi", "barbell",
+        }
+        # Well-mixing topologies all reach consensus...
+        for name in ("clique", "random-regular", "erdos-renyi", "torus"):
+            assert by_topo[name]["convergence_rate"] >= 0.8, by_topo[name]
+        # ...the torus pays its diameter relative to the clique...
+        assert by_topo["torus"]["median_rounds"] > 2 * by_topo["clique"]["median_rounds"]
+        # ...and the barbell bottleneck stalls the dynamics.
+        assert by_topo["barbell"]["convergence_rate"] <= 0.5

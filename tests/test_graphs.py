@@ -182,3 +182,219 @@ class TestGraphProcess:
             rounds_clique.append(r1.rounds)
             rounds_cycle.append(r2.rounds)
         assert np.median(rounds_cycle) > np.median(rounds_clique)
+
+
+class TestSampleNeighborsUnbiased:
+    """Regression for the float-scaling draw the integer draw replaced.
+
+    The old ``(uniform * degree).astype(int64)`` idiom could round up to
+    the row degree (an out-of-pool index spilling into the next node's
+    CSR slice) and was measurably non-uniform.  The bounded-integer draw
+    must keep every raw index strictly below its row degree and pass a
+    chi-square uniformity test per pool on an irregular graph.
+    """
+
+    def _irregular(self):
+        # Star-plus-path: node 0 has a large pool, leaves tiny ones.
+        import networkx as nx
+
+        g = nx.star_graph(9)  # node 0 joined to 1..9
+        g.add_edge(1, 2)
+        return Topology.from_networkx(g)
+
+    def test_raw_index_strictly_below_degree(self):
+        topo = self._irregular()
+        start = topo.offsets[:-1]
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            picks = topo.sample_neighbors(3, rng)
+            # Recover pool membership: every pick must live in its row's slice.
+            for u in range(topo.n):
+                row = topo.neighbors[topo.offsets[u] : topo.offsets[u + 1]]
+                assert np.isin(picks[u], row).all(), (u, picks[u], row)
+        assert (topo.degrees != topo.degrees[0]).any()  # fixture is irregular
+        assert start.shape == (topo.n,)
+
+    def test_per_pool_uniformity_chi_square(self):
+        from scipy import stats
+
+        topo = self._irregular()
+        rng = np.random.default_rng(11)
+        draws = 4_000
+        picks = topo.sample_neighbors(draws, rng)  # (n, draws)
+        for u in range(topo.n):
+            pool = topo.neighbors[topo.offsets[u] : topo.offsets[u + 1]]
+            observed = np.array([(picks[u] == v).sum() for v in pool], dtype=float)
+            expected = draws / pool.size
+            chi2 = float(((observed - expected) ** 2 / expected).sum())
+            crit = float(stats.chi2.isf(1e-6, df=pool.size - 1))
+            assert chi2 < crit, (u, chi2, crit)
+
+    def test_regular_fast_path_matches_pool(self):
+        topo = clique(7)
+        assert topo.is_regular
+        picks = topo.sample_neighbors(5, np.random.default_rng(3))
+        assert picks.min() >= 0 and picks.max() < 7
+
+
+class TestFromNetworkxVectorized:
+    """The edge-array CSR build keeps the historical ordering contract."""
+
+    @staticmethod
+    def _reference(graph, include_self):
+        # The retired per-node loop: sorted pools, optional self-loop.
+        import networkx as nx
+
+        graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+        n = graph.number_of_nodes()
+        pools = []
+        for u in range(n):
+            pool = set(graph.neighbors(u))
+            if include_self:
+                pool.add(u)
+            pools.append(sorted(pool))
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum([len(p) for p in pools])
+        return offsets, np.concatenate([np.asarray(p, dtype=np.int64) for p in pools])
+
+    @pytest.mark.parametrize("include_self", (True, False))
+    def test_matches_reference_on_random_graph(self, include_self):
+        import networkx as nx
+
+        g = nx.gnp_random_graph(40, 0.15, seed=4)
+        if not include_self:
+            # Keep every pool non-empty without self-loops.
+            for u in list(nx.isolates(g)):
+                g.add_edge(u, (u + 1) % 40)
+        topo = Topology.from_networkx(g, include_self=include_self)
+        offsets, neighbors = self._reference(g, include_self)
+        assert np.array_equal(topo.offsets, offsets)
+        assert np.array_equal(topo.neighbors, neighbors)
+
+    def test_pre_existing_self_loops_not_duplicated(self):
+        import networkx as nx
+
+        g = nx.cycle_graph(6)
+        g.add_edge(2, 2)  # explicit self-loop before packing
+        topo = Topology.from_networkx(g, include_self=True)
+        offsets, neighbors = self._reference(g, True)
+        assert np.array_equal(topo.offsets, offsets)
+        assert np.array_equal(topo.neighbors, neighbors)
+        assert (topo.degrees == 3).all()  # loop at 2 contributes exactly once
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            Topology.from_networkx(nx.Graph())
+
+    def test_isolated_node_without_self_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ValueError, match="empty sampling pool"):
+            Topology.from_networkx(g, include_self=False)
+
+
+class TestGraphEnsembleBitIdentity:
+    """Batched (R, n) stepping ≡ sequential per-replica runs, bitwise.
+
+    Both paths consume randomness per replica from the same spawned
+    streams in the same order, so everything — rounds, winners, final
+    counts, recorded traces — must be equal exactly, not statistically.
+    """
+
+    DYNAMICS = (
+        ("3-majority tie-first", ThreeMajority(), {}),
+        ("h-plurality h=4", None, {"h": 4}),  # built below to avoid import cycles
+        ("voter", None, {"voter": True}),
+    )
+
+    def _pair(self, dynamics, topo, cfg, seed, record=None):
+        from repro.core.metrics import RecordSpec
+        from repro.graphs import run_graph_ensemble
+
+        kwargs = dict(max_rounds=3_000, rng=seed)
+        if record:
+            kwargs["record"] = RecordSpec(metrics=tuple(record), every=1)
+        batched = run_graph_ensemble(dynamics, topo, cfg, 6, **kwargs)
+        sequential = run_graph_ensemble(dynamics, topo, cfg, 6, batch=False, **kwargs)
+        return batched, sequential
+
+    @pytest.mark.parametrize("name", [d[0] for d in DYNAMICS])
+    def test_bitwise_equal(self, name):
+        from repro import HPlurality, Voter
+
+        dynamics = {
+            "3-majority tie-first": ThreeMajority(),
+            "h-plurality h=4": HPlurality(4),
+            "voter": Voter(),
+        }[name]
+        topo = torus(6, 10)
+        cfg = Configuration([30, 20, 10])
+        batched, sequential = self._pair(dynamics, topo, cfg, 123, record=("counts", "bias"))
+        assert np.array_equal(batched.rounds, sequential.rounds)
+        assert np.array_equal(batched.converged, sequential.converged)
+        assert np.array_equal(batched.winners, sequential.winners)
+        assert np.array_equal(batched.final_counts, sequential.final_counts)
+        assert batched.stop_reasons() == sequential.stop_reasons()
+        assert batched.trace.digest() == sequential.trace.digest()
+
+    def test_uniform_tiebreak_consumes_rng_identically(self):
+        batched, sequential = self._pair(
+            ThreeMajority(tie_break="uniform"), clique(40), Configuration([20, 20]), 7
+        )
+        assert np.array_equal(batched.rounds, sequential.rounds)
+        assert np.array_equal(batched.final_counts, sequential.final_counts)
+
+    def test_three_input_rule_kernel(self):
+        batched, sequential = self._pair(
+            majority_rule(), cycle(50), Configuration([30, 12, 8]), 31
+        )
+        assert np.array_equal(batched.rounds, sequential.rounds)
+        assert np.array_equal(batched.final_counts, sequential.final_counts)
+
+
+class TestGraphIneligibility:
+    def test_undecided_state_rejected(self):
+        from repro import UndecidedState
+        from repro.graphs import graph_ineligibility
+
+        assert graph_ineligibility(UndecidedState()) is not None
+
+    def test_supported_dynamics_pass(self):
+        from repro import HPlurality, Voter
+        from repro.graphs import graph_ineligibility
+
+        for dyn in (ThreeMajority(), HPlurality(5), Voter(), majority_rule()):
+            assert graph_ineligibility(dyn) is None
+
+
+class TestRunShimMatchesEngine:
+    def test_run_delegates_to_shared_engine(self, rng_factory):
+        # The deprecated GraphPluralityProcess.run must produce exactly
+        # what the shared engine produces for the same colors + stream.
+        from repro.graphs.ensemble import run_graph_colors
+
+        topo = torus(4, 5)
+        cfg = Configuration([10, 6, 4])
+        colors = random_coloring(topo, cfg, rng_factory(9))
+        proc = GraphPluralityProcess(topo, h=3)
+        shim = proc.run(colors, k=3, rng=42, record_counts=True)
+        result, final = run_graph_colors(
+            colors.copy(),
+            3,
+            proc.kernel(3),
+            topo,
+            max_rounds=100_000,
+            stopping=None,
+            record=None,
+            generator=np.random.default_rng(42),
+        )
+        assert shim.rounds == result.rounds
+        assert shim.converged == result.converged
+        assert np.array_equal(shim.final_state.colors, final)
+        assert shim.counts_history is not None
+        assert (shim.counts_history.sum(axis=1) == topo.n).all()

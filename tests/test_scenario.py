@@ -488,3 +488,102 @@ class TestRecordField:
         assert np.array_equal(bare.rounds, recorded.rounds)
         assert np.array_equal(bare.winners, recorded.winners)
         assert np.array_equal(bare.final_counts, recorded.final_counts)
+
+
+class TestTopologyField:
+    """ScenarioSpec.topology: round-trip, validation, cache-key discipline."""
+
+    def _graph_spec(self, **overrides) -> ScenarioSpec:
+        fields = dict(
+            dynamics="3-majority",
+            initial="biased",
+            initial_params={"bias": 10},
+            n=120,
+            k=3,
+            topology="torus",
+            topology_params={"rows": 10, "cols": 12},
+            replicas=4,
+            max_rounds=2_000,
+            seed=9,
+            record=["counts", "bias"],
+        )
+        fields.update(overrides)
+        return ScenarioSpec(**fields)
+
+    def test_round_trips_strictly(self):
+        spec = self._graph_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert "topology" in spec.to_dict()
+        assert spec.to_dict()["topology_params"] == {"rows": 10, "cols": 12}
+
+    def test_clique_specs_emit_no_topology_keys(self):
+        # Cache-preservation contract: a spec without a topology must
+        # produce byte-identical canonical JSON to the pre-topology era.
+        spec = ScenarioSpec(dynamics="voter", n=100, k=2, seed=1)
+        payload = spec.to_dict()
+        assert "topology" not in payload
+        assert "topology_params" not in payload
+
+    def test_topology_changes_cache_key(self):
+        from repro.serve.cache import cache_key
+
+        base = ScenarioSpec(dynamics="3-majority", n=120, k=3, replicas=4, seed=9)
+        keys = {
+            cache_key(base),
+            cache_key(base.with_overrides(topology="clique")),
+            cache_key(base.with_overrides(topology="cycle")),
+            cache_key(
+                base.with_overrides(topology="torus", topology_params={"rows": 10, "cols": 12})
+            ),
+        }
+        assert len(keys) == 4  # all distinct, counts-engine key untouched
+
+    def test_params_without_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology_params"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, topology_params={"rows": 2})
+
+    def test_engine_clash_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ScenarioSpec(dynamics="voter", n=10, k=2, topology="cycle", engine="sparse")
+
+    def test_adversary_clash_rejected_at_resolve(self):
+        with pytest.raises(ValueError, match="adversar"):
+            self._graph_spec(
+                adversary="targeted", adversary_params={"budget": 3}
+            ).validate()
+
+    def test_unknown_topology_rejected_at_resolve(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            self._graph_spec(topology="moebius", topology_params={}).validate()
+
+    def test_bad_topology_params_rejected_at_resolve(self):
+        with pytest.raises(ValueError, match="torus"):
+            self._graph_spec(topology_params={"rows": 7, "cols": 7}).validate()
+
+    def test_ineligible_dynamics_rejected_at_resolve(self):
+        with pytest.raises(ValueError, match="unavailable"):
+            self._graph_spec(dynamics="undecided-state", topology="cycle",
+                             topology_params={}).validate()
+
+    def test_registries_lists_topologies(self):
+        names = ScenarioSpec.registries()["topologies"]
+        for expected in ("clique", "cycle", "torus", "random-regular",
+                         "erdos-renyi", "complete-bipartite", "barbell"):
+            assert expected in names
+
+    def test_simulate_ensemble_batched_equals_sequential(self):
+        spec = self._graph_spec()
+        batched = simulate_ensemble(spec)
+        sequential = simulate_ensemble(spec, batch=False)
+        assert np.array_equal(batched.rounds, sequential.rounds)
+        assert np.array_equal(batched.winners, sequential.winners)
+        assert np.array_equal(batched.final_counts, sequential.final_counts)
+        assert batched.trace.digest() == sequential.trace.digest()
+
+    def test_simulate_single_trajectory(self):
+        res = simulate(self._graph_spec(replicas=1))
+        assert res.trace is not None
+        assert set(res.trace.metrics) == {"counts", "bias"}
+        series = res.trace.replica(0, "counts")
+        assert (series.sum(axis=1) == 120).all()

@@ -412,3 +412,64 @@ class TestSweepCacheWiring:
                 adversary_for=lambda p: TargetedAdversary(5),
                 **self.KW,
             )
+
+
+class TestGraphSpecServing:
+    """Graph-topology specs flow through the cache + executor unchanged."""
+
+    def _graph_spec(self, **overrides) -> ScenarioSpec:
+        fields = dict(
+            dynamics="3-majority",
+            initial="biased",
+            initial_params={"bias": 8},
+            n=120,
+            k=3,
+            topology="torus",
+            topology_params={"rows": 10, "cols": 12},
+            replicas=4,
+            max_rounds=2_000,
+            seed=5,
+            record={"metrics": ["counts", "bias"], "every": 1},
+        )
+        fields.update(overrides)
+        return ScenarioSpec(**fields)
+
+    def test_cold_warm_disk_bit_identical(self, tmp_path):
+        spec = self._graph_spec()
+        direct = simulate_ensemble(spec)
+        assert direct.trace is not None
+        cache = ResultCache(tmp_path)
+        cold = cache.fetch_or_run(spec)
+        warm = cache.fetch_or_run(spec)
+        disk = ResultCache(tmp_path).fetch_or_run(spec)  # cold process, disk layer
+        for replay in (cold, warm, disk):
+            assert_results_identical(direct, replay)
+        assert disk.trace.digest() == direct.trace.digest()
+
+    def test_distinct_keys_per_topology_and_params(self):
+        base = self._graph_spec()
+        keys = {
+            cache_key(base),
+            cache_key(base.with_overrides(topology="cycle", topology_params={})),
+            cache_key(base.with_overrides(topology_params={"rows": 12, "cols": 10})),
+            cache_key(
+                base.with_overrides(topology="random-regular", topology_params={"d": 8})
+            ),
+        }
+        assert len(keys) == 4
+
+    def test_run_batch_mixes_graph_and_counts_specs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [
+            small_spec(),
+            self._graph_spec(),
+            self._graph_spec(),  # duplicate — must dedup, not re-run
+        ]
+        report = run_batch(specs, cache=cache, processes=1)
+        assert report.summary()["deduped"] == 1
+        assert_results_identical(report.results[1], report.results[2])
+        again = run_batch(specs, cache=cache, processes=1)
+        assert again.summary()["hits"] == 2  # per unique spec
+        assert again.summary()["misses"] == 0
+        for first, second in zip(report.results, again.results):
+            assert_results_identical(first, second)
