@@ -87,12 +87,25 @@ from .core import (
 from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
 from .serve import BatchReport, ResultCache, cache_key, run_batch
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
+
+_SERVICE_EXPORTS = ("BackgroundServer", "ScenarioService", "ServiceClient", "ShardMap")
+
+
+def __getattr__(name: str):
+    # The network service (repro.service) is reached lazily so that plain
+    # `import repro` never pays for the serving machinery it doesn't use.
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ADVERSARIES",
     "Adversary",
     "AnyOfStop",
+    "BackgroundServer",
     "BalancingAdversary",
     "BatchReport",
     "BiasThresholdStop",
@@ -116,7 +129,10 @@ __all__ = [
     "ReviveAdversary",
     "RoundBudgetStop",
     "STOPPING",
+    "ScenarioService",
     "ScenarioSpec",
+    "ServiceClient",
+    "ShardMap",
     "TOPOLOGIES",
     "StoppingRule",
     "TargetedAdversary",

@@ -18,6 +18,8 @@ Usage (installed as ``repro`` or via ``python -m repro.cli``)::
     repro batch specs.json --json
     repro cache stats
     repro cache clear
+    repro serve --port 8321 --workers 2
+    repro load --smoke --json
 
 Each run prints the experiment's ResultTable; ``--csv-dir`` additionally
 writes one CSV per experiment for downstream plotting.  ``simulate``
@@ -30,7 +32,12 @@ graph generators a spec's ``topology`` field (or ``--topology``) may
 name.  ``batch`` pushes a JSON
 array of scenarios through the :mod:`repro.serve` substrate
 (content-addressed result cache + sharded executor, recorded TraceSets
-included); ``cache`` inspects or clears that cache.
+included) — invalid items are reported per item, they never abort the
+valid ones; ``cache`` inspects or clears that cache.  ``serve`` runs the
+network-facing scenario service of :mod:`repro.service` in the
+foreground, and ``load`` replays the seeded scenario corpus against a
+service (spawning a fresh cold one by default) with per-endpoint
+latency percentiles and an optional p95 budget.
 """
 
 from __future__ import annotations
@@ -189,6 +196,67 @@ def build_parser() -> argparse.ArgumentParser:
         "purge", help="remove only entries from other engine schema versions"
     )
     cache_purge.add_argument("--cache-dir", default=None)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON scenario service in the foreground"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321, help="0 picks a free port")
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--no-cache", action="store_true")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool width for cache misses (0: in-process threads)",
+    )
+    serve.add_argument(
+        "--shards", default=None, help="comma-separated consistent-hash node names"
+    )
+    serve.add_argument("--shard-self", default="local")
+
+    load = sub.add_parser(
+        "load", help="replay the seeded scenario corpus against a service"
+    )
+    load.add_argument(
+        "--corpus",
+        default="benchmarks/load/corpus.json",
+        help="corpus file (a JSON array of scenario objects)",
+    )
+    load.add_argument("--concurrency", type=int, default=4)
+    load.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smoke tier: first 8 corpus entries, concurrency 2, 2000 ms p95 budget",
+    )
+    load.add_argument(
+        "--p95-budget-ms",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the warm /v1/simulate p95 exceeds this",
+    )
+    load.add_argument(
+        "--server",
+        default=None,
+        help="host:port of a running service (default: spawn a fresh cold one)",
+    )
+    load.add_argument(
+        "--service-workers",
+        type=int,
+        default=0,
+        help="worker-pool width for the spawned service",
+    )
+    load.add_argument("--report", default=None, help="write the full JSON report here")
+    load.add_argument("--json", action="store_true", help="print the full JSON report")
+    load.add_argument(
+        "--generate",
+        action="store_true",
+        help="deterministically (re)generate the corpus file and exit",
+    )
+    load.add_argument("--seed", type=int, default=0, help="corpus generation seed")
+    load.add_argument(
+        "--unique", type=int, default=24, help="unique specs when generating"
+    )
     return parser
 
 
@@ -372,7 +440,7 @@ def _finite_or_none(value: float) -> float | None:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .scenario import ScenarioSpec
+    from .serve.envelope import prepare_specs
     from .serve.executor import run_batch
 
     with open(args.specs, encoding="utf-8") as handle:
@@ -384,18 +452,43 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{args.specs} must hold a non-empty JSON array of scenario objects "
             '(or {"scenarios": [...]})'
         )
-    specs = [ScenarioSpec.from_dict(entry) for entry in payload]
+    # Validate every item up front: a malformed spec gets a per-item error
+    # envelope (same shape the service wire format uses) instead of
+    # aborting the batch before any valid item runs.
+    prepared = prepare_specs(payload)
+    valid = [(position, spec) for position, (spec, error) in enumerate(prepared) if spec]
     cache = None if args.no_cache else _open_cache(args.cache_dir)
-    report = run_batch(specs, cache=cache, processes=args.processes)
+    if valid:
+        report = run_batch(
+            [spec for _, spec in valid], cache=cache, processes=args.processes
+        )
+        by_position = {
+            position: (result, key, source)
+            for (position, _), result, key, source in zip(
+                valid, report.results, report.keys, report.sources
+            )
+        }
+        summary = report.summary()
+    else:
+        by_position = {}
+        summary = {
+            "requests": 0, "unique": 0, "hits": 0, "misses": 0,
+            "deduped": 0, "wall_seconds": 0.0,
+        }
 
     items = []
-    for spec, result, key, source in zip(
-        specs, report.results, report.keys, report.sources
-    ):
+    errors = 0
+    for position, (spec, error) in enumerate(prepared):
+        if error is not None:
+            errors += 1
+            items.append({"key": None, "source": "error", "error": error})
+            continue
+        result, key, source = by_position[position]
         items.append(
             {
                 "key": key,
                 "source": source,
+                "error": None,
                 "dynamics": spec.dynamics,
                 "n": spec.n,
                 "k": spec.k,
@@ -410,10 +503,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "trace": _trace_summary(result.trace),
             }
         )
+    summary = {**summary, "requests": len(items), "errors": errors}
+    exit_code = 0 if errors == 0 else 1
     if args.json:
-        print(json.dumps({**report.summary(), "items": items}, indent=2, sort_keys=True))
-        return 0
+        print(json.dumps({**summary, "items": items}, indent=2, sort_keys=True))
+        return exit_code
     for item in items:
+        if item["error"] is not None:
+            print(f"[error] {item['error']['type']}: {item['error']['message']}")
+            continue
         mean = item["rounds"]["mean"]
         print(
             f"[{item['source']:5s}] {item['key'][:12]}  "
@@ -421,13 +519,93 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"win={item['plurality_win_rate']:.3f} "
             f"rounds_mean={'n/a' if mean is None else format(mean, '.1f')}"
         )
-    summary = report.summary()
     print(
         f"{summary['requests']} requests ({summary['unique']} unique): "
         f"{summary['hits']} cache hits, {summary['misses']} executed, "
-        f"{summary['deduped']} deduped in {summary['wall_seconds']:.2f}s"
+        f"{summary['deduped']} deduped, {summary['errors']} invalid "
+        f"in {summary['wall_seconds']:.2f}s"
     )
-    return 0
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.__main__ import main as service_main
+
+    forward = ["--host", args.host, "--port", str(args.port), "--workers", str(args.workers)]
+    if args.cache_dir:
+        forward += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        forward += ["--no-cache"]
+    if args.shards:
+        forward += ["--shards", args.shards, "--shard-self", args.shard_self]
+    return service_main(forward)
+
+
+def _parse_server(server: str) -> tuple[str, int]:
+    """Accept ``host:port`` or ``http://host:port`` for ``repro load --server``."""
+    text = server
+    if "//" in text:
+        text = text.split("//", 1)[1]
+    host, sep, port = text.rstrip("/").rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--server must be host:port or http://host:port, got {server!r}")
+    return host, int(port)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .service.load import SMOKE_CONCURRENCY, SMOKE_ENTRIES, drive, write_corpus
+
+    if args.generate:
+        entries = write_corpus(args.corpus, seed=args.seed, unique=args.unique)
+        print(f"wrote {entries} scenarios to {args.corpus} (seed={args.seed})")
+        return 0
+    with open(args.corpus, encoding="utf-8") as handle:
+        specs = json.load(handle)
+    if not isinstance(specs, list) or not specs:
+        raise SystemExit(f"{args.corpus} must hold a non-empty JSON array of scenarios")
+    concurrency = args.concurrency
+    budget = args.p95_budget_ms
+    if args.smoke:
+        specs = specs[:SMOKE_ENTRIES]
+        concurrency = min(concurrency, SMOKE_CONCURRENCY)
+        if budget is None:
+            budget = 2000.0
+    report = drive(
+        specs,
+        concurrency=concurrency,
+        server=None if args.server is None else _parse_server(args.server),
+        service_workers=args.service_workers,
+        p95_budget_ms=budget,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    ok = report["replay_identical"] and report.get("budget", {}).get("within_budget", True)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    for phase in ("cold", "warm", "lookup"):
+        summary = report["phases"][phase]
+        latency = summary["latency_ms"]
+        sources = ", ".join(f"{k}×{v}" for k, v in sorted(summary["sources"].items()))
+        print(
+            f"{phase:6s} {summary['requests']:4d} requests in {summary['wall_seconds']:.2f}s "
+            f"({summary['rps']:.1f} req/s)  p50={latency['p50']:.1f}ms "
+            f"p95={latency['p95']:.1f}ms p99={latency['p99']:.1f}ms  [{sources}]"
+        )
+    print(
+        f"replay identical: {report['replay_identical']}  "
+        f"cache hit rate: {report['server_stats']['cache_hit_rate']}  "
+        f"coalesced: {report['server_stats']['coalesced']}"
+    )
+    if "budget" in report:
+        verdict = "within" if report["budget"]["within_budget"] else "OVER"
+        print(
+            f"warm p95 {report['budget']['warm_p95_ms']:.1f}ms is {verdict} the "
+            f"{report['budget']['p95_budget_ms']:.0f}ms budget"
+        )
+    return 0 if ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -567,6 +745,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "load":
+        return _cmd_load(args)
     return 2  # pragma: no cover — argparse enforces the choices
 
 

@@ -15,6 +15,7 @@ invalidated instead of served.
 """
 
 from .cache import DEFAULT_MEMORY_ENTRIES, ResultCache, cache_key, default_cache_dir
+from .envelope import error_envelope, prepare_spec, prepare_specs
 from .executor import BatchReport, run_batch
 
 __all__ = [
@@ -23,5 +24,8 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "default_cache_dir",
+    "error_envelope",
+    "prepare_spec",
+    "prepare_specs",
     "run_batch",
 ]

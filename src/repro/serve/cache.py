@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -226,6 +227,14 @@ def _copy_result(result: EnsembleResult) -> EnsembleResult:
 class ResultCache:
     """LRU-over-disk store of ensemble results, keyed by :func:`cache_key`.
 
+    Thread-safe: every public operation serializes on one reentrant lock
+    (the network service hammers a single cache from many threads), and
+    hits hand out defensive copies, so concurrent readers can never
+    observe each other's mutations.  Cross-*process* races on the disk
+    layer (a ``repro cache clear`` against a running service) degrade to
+    misses, never to corrupt hits: the atomic manifest-last write order
+    plus best-effort ``_disk_put`` guarantee an entry on disk is complete.
+
     Parameters
     ----------
     root:
@@ -252,6 +261,12 @@ class ResultCache:
         self.memory_entries = int(memory_entries)
         self.schema_version = int(schema_version)
         self._memory: OrderedDict[str, EnsembleResult] = OrderedDict()
+        # One reentrant lock over the LRU, the counters and the disk
+        # put/remove paths: the service serves many threads off one cache,
+        # and an OrderedDict move_to_end racing a popitem corrupts the LRU.
+        # Simulation never runs under the lock (fetch_or_run locks only
+        # through get/put), so contention is bounded by (de)serialization.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -266,27 +281,29 @@ class ResultCache:
 
     def get(self, key: str) -> EnsembleResult | None:
         """The stored result for ``key``, or None on a miss."""
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return _copy_result(cached)
-        cached = self._disk_get(key)
-        if cached is not None:
-            self._memory_put(key, cached)
-            self.hits += 1
-            return _copy_result(cached)
-        self.misses += 1
-        return None
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return _copy_result(cached)
+            cached = self._disk_get(key)
+            if cached is not None:
+                self._memory_put(key, cached)
+                self.hits += 1
+                return _copy_result(cached)
+            self.misses += 1
+            return None
 
     def put(self, key: str, result: EnsembleResult) -> None:
         """Store ``result`` under ``key`` in both layers."""
         if not isinstance(result, EnsembleResult):
             raise TypeError(f"can only cache EnsembleResult, got {type(result).__name__}")
         result = _copy_result(result)
-        self._memory_put(key, result)
-        self._disk_put(key, result)
-        self.stores += 1
+        with self._lock:
+            self._memory_put(key, result)
+            self._disk_put(key, result)
+            self.stores += 1
 
     def fetch_or_run(self, spec: ScenarioSpec, *, seed=None, runner=None) -> EnsembleResult:
         """Serve ``spec`` from the cache, running and storing it on a miss.
@@ -315,25 +332,29 @@ class ResultCache:
         """Counters + layer sizes, JSON-able (what ``repro cache stats`` prints)."""
         disk_entries = 0
         disk_bytes = 0
-        if self.root is not None and self.root.is_dir():
-            for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
-                disk_entries += 1
-                disk_bytes += manifest.stat().st_size
-                arrays = manifest.with_suffix(_ARRAYS_SUFFIX)
-                if arrays.exists():
-                    disk_bytes += arrays.stat().st_size
-        return {
-            "root": None if self.root is None else str(self.root),
-            "schema_version": self.schema_version,
-            "memory_entries": len(self._memory),
-            "memory_capacity": self.memory_entries,
-            "disk_entries": disk_entries,
-            "disk_bytes": disk_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "invalidated": self.invalidated,
-        }
+        with self._lock:
+            if self.root is not None and self.root.is_dir():
+                for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
+                    try:
+                        disk_bytes += manifest.stat().st_size
+                        disk_entries += 1
+                        arrays = manifest.with_suffix(_ARRAYS_SUFFIX)
+                        if arrays.exists():
+                            disk_bytes += arrays.stat().st_size
+                    except OSError:
+                        continue  # entry removed by another process mid-scan
+            return {
+                "root": None if self.root is None else str(self.root),
+                "schema_version": self.schema_version,
+                "memory_entries": len(self._memory),
+                "memory_capacity": self.memory_entries,
+                "disk_entries": disk_entries,
+                "disk_bytes": disk_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "invalidated": self.invalidated,
+            }
 
     def purge_stale(self) -> int:
         """Delete disk entries recorded under another engine schema version.
@@ -344,27 +365,29 @@ class ResultCache:
         Returns the number of entries removed.
         """
         removed = 0
-        if self.root is not None and self.root.is_dir():
-            for manifest_path in self.root.glob("*" + _MANIFEST_SUFFIX):
-                try:
-                    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-                except (OSError, json.JSONDecodeError):
-                    manifest = {}
-                if manifest.get("schema") != self.schema_version:
-                    self._remove_entry(manifest_path)
-                    removed += 1
+        with self._lock:
+            if self.root is not None and self.root.is_dir():
+                for manifest_path in self.root.glob("*" + _MANIFEST_SUFFIX):
+                    try:
+                        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+                    except (OSError, json.JSONDecodeError):
+                        manifest = {}
+                    if manifest.get("schema") != self.schema_version:
+                        self._remove_entry(manifest_path)
+                        removed += 1
         return removed
 
     def clear(self) -> int:
         """Drop every entry in both layers; returns the number of distinct
         keys removed (an entry resident in memory *and* on disk counts once)."""
-        keys = set(self._memory)
-        self._memory.clear()
-        if self.root is not None and self.root.is_dir():
-            for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
-                keys.add(manifest.stem)
-                self._remove_entry(manifest)
-        return len(keys)
+        with self._lock:
+            keys = set(self._memory)
+            self._memory.clear()
+            if self.root is not None and self.root.is_dir():
+                for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
+                    keys.add(manifest.stem)
+                    self._remove_entry(manifest)
+            return len(keys)
 
     # -- internals -----------------------------------------------------------
 
@@ -418,18 +441,43 @@ class ResultCache:
         # a further integer factor.  Trace-less entries stay uncompressed —
         # they are a handful of per-replica scalars, not worth the CPU.
         save = np.savez_compressed if manifest.get("trace") else np.savez
-        with tempfile.NamedTemporaryFile(
-            dir=self.root, suffix=_ARRAYS_SUFFIX + ".tmp", delete=False
-        ) as handle:
-            save(handle, **arrays)
-            tmp_arrays = handle.name
-        os.replace(tmp_arrays, arrays_path)
-        with tempfile.NamedTemporaryFile(
-            "w", dir=self.root, suffix=_MANIFEST_SUFFIX + ".tmp", delete=False, encoding="utf-8"
-        ) as handle:
-            json.dump(manifest, handle, sort_keys=True)
-            tmp_manifest = handle.name
-        os.replace(tmp_manifest, manifest_path)
+        # A concurrent purge_stale()/clear() from *another process* (in-process
+        # callers serialize on self._lock) can remove the directory entries —
+        # or an operator can delete the root wholesale — while this write is
+        # in flight.  A cache put is best-effort: tolerate the race, drop the
+        # entry, and leave the caller's result untouched.
+        try:
+            with tempfile.NamedTemporaryFile(
+                dir=self.root, suffix=_ARRAYS_SUFFIX + ".tmp", delete=False
+            ) as handle:
+                save(handle, **arrays)
+                tmp_arrays = handle.name
+        except OSError:
+            return
+        tmp_manifest = None
+        try:
+            os.replace(tmp_arrays, arrays_path)
+            with tempfile.NamedTemporaryFile(
+                "w",
+                dir=self.root,
+                suffix=_MANIFEST_SUFFIX + ".tmp",
+                delete=False,
+                encoding="utf-8",
+            ) as handle:
+                json.dump(manifest, handle, sort_keys=True)
+                tmp_manifest = handle.name
+            os.replace(tmp_manifest, manifest_path)
+        except OSError:
+            # Never leave a manifest-less or half-renamed entry behind: the
+            # manifest marks completeness, so removing both files restores
+            # "miss", which is always a correct state.
+            for stale in (tmp_arrays, tmp_manifest, arrays_path):
+                if stale is None:
+                    continue
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
 
     def _remove_entry(self, manifest_path: Path) -> None:
         for path in (manifest_path, manifest_path.with_suffix(_ARRAYS_SUFFIX)):
@@ -439,11 +487,12 @@ class ResultCache:
                 pass
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
-        if self.root is None:
-            return False
-        return self._paths(key)[0].exists()
+        with self._lock:
+            if key in self._memory:
+                return True
+            if self.root is None:
+                return False
+            return self._paths(key)[0].exists()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,106 @@
+"""Network-facing scenario service: asyncio HTTP/JSON over ``repro.serve``.
+
+A :class:`~repro.scenario.ScenarioSpec` is already a strict, hashable
+JSON payload, and its ensemble result is a pure function of (canonical
+spec JSON, seed, engine schema version) — so serving simulations is a
+read-heavy, content-addressed workload.  This package puts a socket in
+front of that fact with **no new runtime dependency**: the HTTP/1.1
+framing is hand-rolled on :mod:`asyncio` streams (:mod:`.http`), requests
+validate through the same strict ``ScenarioSpec.from_dict`` the library
+uses everywhere, cache misses run on a spawn-context process-pool worker
+tier sharing :mod:`repro.serve.executor`'s stateless-worker discipline,
+concurrent duplicate requests coalesce onto one run, and a
+consistent-hash :class:`~repro.service.sharding.ShardMap` over the cache
+key routes toward the multi-host story.
+
+Run it with ``python -m repro.service`` (or spawn it through ``repro
+load``); drive it with :class:`~repro.service.client.ServiceClient` or
+plain ``curl``.
+
+Wire schema
+-----------
+All bodies are strict JSON (``NaN``/``Infinity`` never appear; they are
+serialized as ``null``).  Every error, at any status, is the envelope
+``{"error": {"type": <exception class>, "message": <text>}}`` — the same
+per-item envelope ``repro batch --json`` reports.
+
+``POST /v1/simulate`` — body: one scenario object (exactly the
+``ScenarioSpec.to_dict()`` schema; unknown keys are rejected, the seed
+must be concrete).  Response 200::
+
+    {"key": <sha256 hex>,             # content-addressed cache key
+     "source": "run"|"cache"|"coalesced",
+     "shard": <owning node>,          # consistent-hash owner of the key
+     "spec": {...},                   # the validated spec, echoed
+     "replicas": R,
+     "plurality_color": c,
+     "plurality_win_rate": f|null, "convergence_rate": f|null,
+     "winners": [R ints], "rounds": [R ints], "converged": [R bools],
+     "rounds_summary": {"mean": ..., "median": ..., ...},
+     "stop_reasons": {<rule>: count, ...},
+     "trace": null | {"metrics": [...], "every": m,
+                      "rounds_recorded": T, "replicas": R,
+                      "digest": <sha256 of the TraceSet>}}
+
+The ``winners``/``rounds``/``converged`` vectors plus ``trace.digest``
+make end-to-end bit-identity checkable from the client side; cold run,
+warm replay and a direct :func:`~repro.scenario.simulate_ensemble` agree
+on all of them at equal seed.
+
+``POST /v1/batch`` — body: an array of scenario objects (or
+``{"scenarios": [...]}``).  Invalid items do **not** abort the batch:
+every item is validated up front and answered positionally.  Response
+200::
+
+    {"requests": N, "unique": U, "hits": h, "misses": m, "deduped": d,
+     "coalesced": c, "errors": e, "wall_seconds": s,
+     "items": [ <simulate payload + "error": null>
+                | {"key": <hex>|null, "source": "error",
+                   "error": {"type": ..., "message": ...}}, ... ]}
+
+Duplicate items within one batch report ``"source": "dedup"`` and share
+the first occurrence's execution, exactly like
+:func:`repro.serve.executor.run_batch`.
+
+``GET /v1/result/{key}`` — content-addressed lookup of a previously
+computed result (``key`` is the 64-hex-digit cache key).  200 with the
+simulate payload (``source: "cache"``, no ``spec`` echo) or 404.
+
+``GET /v1/health`` — liveness: ``{"status": "ok", "version": ...,
+"schema_version": ..., "workers": ..., "cache": bool, "shard_self": ...}``.
+
+``GET /v1/stats`` — counters: ``in_flight``, ``runs`` (underlying
+executions), ``coalesced`` (requests that awaited another request's
+run — two concurrent duplicates show ``runs == 1, coalesced == 1``),
+``remote_shard_requests``, ``cache`` (the
+:meth:`~repro.serve.cache.ResultCache.stats` dict), ``cache_hit_rate``,
+``shards`` (the ring), and per-endpoint latency histograms under
+``requests`` (``count``/``errors``/``mean_ms``/``p50_ms``/``p95_ms``/
+``p99_ms``).
+
+The load harness (:mod:`.load`) replays the committed seeded corpus
+``benchmarks/load/corpus.json`` against a spawned service — see ``repro
+load --help`` and the README's "Serving over the network" section.
+"""
+
+from .app import LatencyHistogram, ScenarioService, result_payload
+from .client import AsyncConnection, ServiceClient, ServiceError
+from .load import drive, generate_corpus, run_load, spawn_service, write_corpus
+from .runner import BackgroundServer
+from .sharding import ShardMap
+
+__all__ = [
+    "AsyncConnection",
+    "BackgroundServer",
+    "LatencyHistogram",
+    "ScenarioService",
+    "ServiceClient",
+    "ServiceError",
+    "ShardMap",
+    "drive",
+    "generate_corpus",
+    "result_payload",
+    "run_load",
+    "spawn_service",
+    "write_corpus",
+]

@@ -1,0 +1,80 @@
+"""Run the scenario service: ``python -m repro.service [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from ..serve.cache import ResultCache, default_cache_dir
+from .app import ScenarioService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="HTTP/JSON scenario service over the repro.serve substrate",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321, help="0 picks a free port")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="serve without any result cache"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "process-pool width for cache misses; 0 (default) executes misses "
+            "on in-process threads"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated shard node names for the consistent-hash ring",
+    )
+    parser.add_argument(
+        "--shard-self", default="local", help="this node's name in --shards"
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
+    shards = [s.strip() for s in args.shards.split(",")] if args.shards else None
+    service = ScenarioService(
+        cache, workers=args.workers, shards=shards, shard_self=args.shard_self
+    )
+    host, port = await service.start(args.host, args.port)
+    print(f"repro-service listening on http://{host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    await service.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,516 @@
+"""The scenario service: asyncio HTTP front over the serve substrate.
+
+:class:`ScenarioService` owns one listening socket, one
+:class:`~repro.serve.cache.ResultCache`, an optional process-pool worker
+tier, the in-flight coalescing table and the consistent-hash
+:class:`~repro.service.sharding.ShardMap`.  Request handling is a
+straight pipeline::
+
+    parse JSON  →  strict ScenarioSpec validation (error envelope on
+    failure)  →  content-addressed cache_key  →  shard lookup  →
+    in-flight coalescing  →  cache probe  →  miss dispatched to the
+    worker tier  →  store  →  JSON payload
+
+Two concurrent requests for the same key run the simulation **once**:
+the first becomes the owner of an in-flight future, later arrivals await
+it (``source: "coalesced"``, counted in ``/v1/stats``).  Workers reuse
+:func:`repro.serve.executor._run_shard` — the same stateless
+spec-JSON-in, result-out discipline as ``run_batch`` — over a
+spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`;
+``workers=0`` executes misses on threads in-process (the
+dependency-light mode used by tests and the smoke harness).  Blocking
+cache I/O runs via :func:`asyncio.to_thread`, which is what the
+:class:`ResultCache` locking added alongside this module makes safe.
+
+See the package docstring (:mod:`repro.service`) for the wire schema.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing as mp
+import re
+import threading
+import time
+from bisect import bisect_left
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from .. import __version__
+from ..core.process import ENGINE_SCHEMA_VERSION, EnsembleResult
+from ..scenario import ScenarioSpec
+from ..serve.cache import ResultCache, cache_key
+from ..serve.envelope import error_envelope, prepare_spec
+from ..serve.executor import FROM_CACHE, FROM_DEDUP, FROM_RUN, _run_shard
+from .http import HttpError, Request, encode_response, read_request
+from .sharding import ShardMap
+
+__all__ = ["LatencyHistogram", "ScenarioService", "result_payload"]
+
+#: Provenance label for a request that awaited another request's run.
+FROM_COALESCED = "coalesced"
+#: Provenance label for a request whose item failed validation.
+FROM_ERROR = "error"
+
+#: Request body cap: a batch of a few thousand specs fits comfortably.
+DEFAULT_MAX_BODY = 8 << 20
+
+#: Upper bound on memoised validations (canonical spec JSON strings);
+#: far above any realistic working set, small enough to bound memory.
+VALIDATION_MEMO_ENTRIES = 4096
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _finite(value: float) -> float | None:
+    """NaN/inf → None: the wire format is strict JSON (``allow_nan=False``)."""
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def result_payload(key: str, source: str, result: EnsembleResult) -> dict[str, object]:
+    """JSON-able result envelope shared by simulate/batch/result endpoints.
+
+    Carries enough to check end-to-end bit-identity from the client side:
+    the full per-replica ``winners``/``rounds``/``converged`` vectors plus
+    the :meth:`TraceSet.digest` (which covers dtypes, shapes and raw
+    bytes of every recorded column).
+    """
+    trace = result.trace
+    return {
+        "key": key,
+        "source": source,
+        "replicas": result.replicas,
+        "plurality_color": int(result.plurality_color),
+        "plurality_win_rate": _finite(result.plurality_win_rate),
+        "convergence_rate": _finite(result.convergence_rate),
+        "winners": [int(w) for w in result.winners],
+        "rounds": [int(r) for r in result.rounds],
+        "converged": [bool(c) for c in result.converged],
+        "rounds_summary": {
+            name: _finite(value) for name, value in result.rounds_summary().items()
+        },
+        "stop_reasons": result.stop_reasons(),
+        "trace": None
+        if trace is None
+        else {
+            "metrics": list(trace.metrics),
+            "every": trace.every,
+            "rounds_recorded": trace.n_rounds,
+            "replicas": trace.replicas,
+            "digest": trace.digest(),
+        },
+    }
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram with quantile readout.
+
+    Buckets grow by √2 from 0.1 ms to ~100 s, so any latency is within
+    ~20% of its bucket bound — plenty for p50/p95/p99 reporting without
+    storing per-request samples.  Only touched from the event loop, so it
+    needs no locking.
+    """
+
+    def __init__(self):
+        bounds = [1e-4]
+        while bounds[-1] < 100.0:
+            bounds.append(bounds[-1] * 2 ** 0.5)
+        self._bounds = bounds  # upper edge of each bucket, seconds
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect_left(self._bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> float | None:
+        """Upper bucket edge holding the q-quantile (seconds); None when empty."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= target and bucket:
+                return self._bounds[min(index, len(self._bounds) - 1)]
+        return self._bounds[-1]
+
+    def to_dict(self) -> dict[str, object]:
+        def _ms(seconds: float | None) -> float | None:
+            return None if seconds is None else round(seconds * 1e3, 3)
+
+        return {
+            "count": self.count,
+            "mean_ms": _ms(self.total / self.count) if self.count else None,
+            "p50_ms": _ms(self.quantile(0.50)),
+            "p95_ms": _ms(self.quantile(0.95)),
+            "p99_ms": _ms(self.quantile(0.99)),
+        }
+
+
+class ScenarioService:
+    """One service instance: routes, stats, coalescing, worker tier.
+
+    Parameters
+    ----------
+    cache:
+        :class:`ResultCache` to probe and fill; ``None`` serves without
+        caching (every request runs, ``/v1/result`` always 404s).
+    workers:
+        Process-pool width for cache misses.  ``0`` (default) executes
+        misses on in-process threads — no pool start-up cost, the right
+        mode for tests and smoke runs; ``>= 1`` starts a spawn-context
+        pool of stateless workers on :meth:`start`.
+    shards:
+        Node names for the consistent-hash ring (default: just
+        ``shard_self``).  ``shard_self`` must be listed; requests whose
+        key another node owns are still served locally (single-host
+        deployment) but carry the owner in the response ``shard`` field,
+        and the mismatch is counted in ``/v1/stats``.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        *,
+        workers: int = 0,
+        shards: list[str] | None = None,
+        shard_self: str = "local",
+        max_body: int = DEFAULT_MAX_BODY,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.cache = cache
+        self.workers = int(workers)
+        self.shard_self = shard_self
+        self.shard_map = ShardMap(shards if shards else [shard_self])
+        if shard_self not in self.shard_map.nodes:
+            raise ValueError(
+                f"shard_self {shard_self!r} is not in shards {list(self.shard_map.nodes)!r}"
+            )
+        self.max_body = int(max_body)
+        self._pool: ProcessPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        # Validation memo: canonical spec JSON → already passed validate().
+        # Registry validation can materialise a topology graph (hundreds of
+        # ms), so the warm path must not re-pay it per request.  Accessed
+        # from handler worker threads; guarded by its own lock.
+        self._validated: OrderedDict[str, None] = OrderedDict()
+        self._validated_lock = threading.Lock()
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._errors: dict[str, int] = {}
+        self.in_flight = 0
+        self.runs = 0
+        self.coalesced = 0
+        self.remote_shard_requests = 0
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self.workers > 0 and self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=mp.get_context("spawn")
+            )
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        self._started_at = time.monotonic()
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- connection / dispatch ----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, max_body=self.max_body)
+                except HttpError as exc:
+                    writer.write(
+                        encode_response(
+                            exc.status, {"error": error_envelope(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = request.headers.get("connection", "").lower() != "close"
+                status, payload = await self._dispatch(request)
+                writer.write(encode_response(status, payload, keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        finally:
+            writer.close()
+            # CancelledError: event-loop teardown cancels handlers mid-close;
+            # the socket is going away either way, so finish quietly.
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+            ):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: Request) -> tuple[int, dict]:
+        label, method, handler, argument = self._route(request)
+        histogram = self._histograms.setdefault(label, LatencyHistogram())
+        self.in_flight += 1
+        start = time.perf_counter()
+        try:
+            if handler is None:
+                raise HttpError(404, f"no route for {request.path!r}")
+            if request.method != method:
+                raise HttpError(405, f"{request.path} only accepts {method}")
+            status, payload = await handler(request, argument)
+        except HttpError as exc:
+            status, payload = exc.status, {"error": error_envelope(exc)}
+        except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the loop
+            status, payload = 500, {"error": error_envelope(exc)}
+        finally:
+            self.in_flight -= 1
+            histogram.observe(time.perf_counter() - start)
+        if status >= 400:
+            self._errors[label] = self._errors.get(label, 0) + 1
+        return status, payload
+
+    def _route(self, request: Request):
+        """Resolve one request to ``(stats label, method, handler, argument)``."""
+        path = request.path.rstrip("/") or "/"
+        if path == "/v1/health":
+            return "GET /v1/health", "GET", self._handle_health, None
+        if path == "/v1/stats":
+            return "GET /v1/stats", "GET", self._handle_stats, None
+        if path == "/v1/simulate":
+            return "POST /v1/simulate", "POST", self._handle_simulate, None
+        if path == "/v1/batch":
+            return "POST /v1/batch", "POST", self._handle_batch, None
+        if path.startswith("/v1/result/"):
+            key = path[len("/v1/result/"):]
+            return "GET /v1/result", "GET", self._handle_result, key
+        return request.method + " " + path, request.method, None, None
+
+    # -- execution core ------------------------------------------------------
+
+    async def _obtain(self, spec: ScenarioSpec) -> tuple[str, str, EnsembleResult]:
+        """Serve one validated spec: coalesce → cache → run; returns provenance."""
+        key = self.cache.key_for(spec) if self.cache is not None else cache_key(spec)
+        if self.shard_map.owner_of(key) != self.shard_self:
+            self.remote_shard_requests += 1
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.coalesced += 1
+            return key, FROM_COALESCED, await pending
+        # Register the future BEFORE the first await: between the in-flight
+        # probe above and this line the coroutine never yields, so exactly
+        # one request per key can become the owner — later duplicates land
+        # on the branch above even while the owner is still probing the
+        # cache in a thread.
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            if self.cache is not None:
+                cached = await asyncio.to_thread(self.cache.get, key)
+                if cached is not None:
+                    future.set_result(cached)
+                    return key, FROM_CACHE, cached
+            result = await self._execute(key, spec)
+            if self.cache is not None:
+                await asyncio.to_thread(self.cache.put, key, result)
+            self.runs += 1
+            future.set_result(result)
+            return key, FROM_RUN, result
+        except BaseException as exc:
+            # BaseException: a cancelled owner must not strand followers
+            # on a forever-pending future.
+            if not future.done():
+                future.set_exception(exc)
+                # Coalesced awaiters consume the exception; without any,
+                # tell asyncio it is handled (it re-raises below regardless).
+                future.exception()
+            raise
+        finally:
+            del self._inflight[key]
+
+    async def _execute(self, key: str, spec: ScenarioSpec) -> EnsembleResult:
+        """Run one miss through the worker tier (stateless ``_run_shard`` task)."""
+        shard = [(key, spec.to_json(indent=None))]
+        if self._pool is not None:
+            pairs = await asyncio.get_running_loop().run_in_executor(
+                self._pool, _run_shard, shard
+            )
+        else:
+            pairs = await asyncio.to_thread(_run_shard, shard)
+        return pairs[0][1]
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _handle_health(self, request: Request, _argument) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "schema_version": ENGINE_SCHEMA_VERSION,
+            "workers": self.workers,
+            "cache": self.cache is not None,
+            "shard_self": self.shard_self,
+        }
+
+    async def _handle_stats(self, request: Request, _argument) -> tuple[int, dict]:
+        cache_stats = None
+        if self.cache is not None:
+            cache_stats = await asyncio.to_thread(self.cache.stats)
+        requests = {}
+        total_hits = total = 0
+        for label, histogram in sorted(self._histograms.items()):
+            requests[label] = {
+                **histogram.to_dict(),
+                "errors": self._errors.get(label, 0),
+            }
+        if cache_stats is not None:
+            total_hits = cache_stats["hits"]
+            total = cache_stats["hits"] + cache_stats["misses"]
+        return 200, {
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "in_flight": self.in_flight,
+            "runs": self.runs,
+            "coalesced": self.coalesced,
+            "remote_shard_requests": self.remote_shard_requests,
+            "cache": cache_stats,
+            "cache_hit_rate": round(total_hits / total, 4) if total else None,
+            "requests": requests,
+            "shards": self.shard_map.describe(),
+        }
+
+    def _prepare(self, entry) -> tuple[ScenarioSpec | None, dict | None]:
+        """:func:`prepare_spec` with the validation memo applied.
+
+        Runs on a worker thread (``asyncio.to_thread``) so a cold
+        validation never stalls the event loop; a spec whose canonical
+        JSON already validated skips straight through.
+        """
+        spec, error = prepare_spec(entry, validate=False)
+        if error is not None:
+            return None, error
+        token = spec.to_json(indent=None)
+        with self._validated_lock:
+            known = token in self._validated
+            if known:
+                self._validated.move_to_end(token)
+        if not known:
+            try:
+                spec.validate()
+            except Exception as exc:  # noqa: BLE001 — becomes the item envelope
+                return None, error_envelope(exc)
+            with self._validated_lock:
+                self._validated[token] = None
+                while len(self._validated) > VALIDATION_MEMO_ENTRIES:
+                    self._validated.popitem(last=False)
+        return spec, None
+
+    async def _handle_simulate(self, request: Request, _argument) -> tuple[int, dict]:
+        spec, error = await asyncio.to_thread(self._prepare, request.json())
+        if error is not None:
+            return 400, {"error": error}
+        key, source, result = await self._obtain(spec)
+        payload = result_payload(key, source, result)
+        payload["shard"] = self.shard_map.owner_of(key)
+        payload["spec"] = spec.to_dict()
+        return 200, payload
+
+    async def _handle_batch(self, request: Request, _argument) -> tuple[int, dict]:
+        body = request.json()
+        if isinstance(body, dict) and "scenarios" in body:
+            body = body["scenarios"]
+        if not isinstance(body, list) or not body:
+            raise HttpError(
+                400, 'batch body must be a non-empty JSON array (or {"scenarios": [...]})'
+            )
+        start = time.perf_counter()
+        prepared = await asyncio.to_thread(
+            lambda: [self._prepare(entry) for entry in body]
+        )
+
+        # Dedup valid items by key; the first occurrence owns the execution
+        # slot (run_batch's discipline), later duplicates report "dedup".
+        keys: list[str | None] = []
+        owner_of: dict[str, int] = {}
+        for position, (spec, error) in enumerate(prepared):
+            if spec is None:
+                keys.append(None)
+                continue
+            key = self.cache.key_for(spec) if self.cache is not None else cache_key(spec)
+            keys.append(key)
+            owner_of.setdefault(key, position)
+
+        owners = list(owner_of.items())
+        obtained = await asyncio.gather(
+            *(self._obtain(prepared[position][0]) for _key, position in owners),
+            return_exceptions=True,
+        )
+        outcome: dict[str, object] = {
+            key: result for (key, _), result in zip(owners, obtained)
+        }
+
+        items: list[dict] = []
+        counters = {FROM_CACHE: 0, FROM_RUN: 0, FROM_DEDUP: 0, FROM_COALESCED: 0}
+        errors = 0
+        for position, ((spec, error), key) in enumerate(zip(prepared, keys)):
+            if error is not None:
+                errors += 1
+                items.append({"key": None, "source": FROM_ERROR, "error": error})
+                continue
+            value = outcome[key]
+            if isinstance(value, BaseException):
+                errors += 1
+                items.append(
+                    {"key": key, "source": FROM_ERROR, "error": error_envelope(value)}
+                )
+                continue
+            _key, source, result = value
+            if owner_of[key] != position:
+                source = FROM_DEDUP
+            counters[source] += 1
+            item = result_payload(key, source, result)
+            item["error"] = None
+            items.append(item)
+        return 200, {
+            "requests": len(items),
+            "unique": len(owner_of),
+            "hits": counters[FROM_CACHE],
+            "misses": counters[FROM_RUN],
+            "deduped": counters[FROM_DEDUP],
+            "coalesced": counters[FROM_COALESCED],
+            "errors": errors,
+            "wall_seconds": round(time.perf_counter() - start, 6),
+            "items": items,
+        }
+
+    async def _handle_result(self, request: Request, key: str) -> tuple[int, dict]:
+        if not _KEY_RE.match(key):
+            raise HttpError(400, f"result key must be a sha256 hex digest, got {key!r}")
+        if self.cache is None:
+            raise HttpError(404, "service is running without a result cache")
+        cached = await asyncio.to_thread(self.cache.get, key)
+        if cached is None:
+            raise HttpError(404, f"no cached result under key {key}")
+        return 200, result_payload(key, FROM_CACHE, cached)

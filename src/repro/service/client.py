@@ -1,0 +1,150 @@
+"""Clients for the scenario service (stdlib only).
+
+:class:`ServiceClient` is the synchronous client — one keep-alive
+:class:`http.client.HTTPConnection` per instance (so it is *not* shared
+across threads; give each thread its own) — used by the tests, the
+benchmark suite and the CLI health poll.  :class:`AsyncConnection` is the
+coroutine-side equivalent used by the load driver: one open socket, one
+request at a time, keep-alive across requests, so a driver worker models
+one persistent user connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+__all__ = ["AsyncConnection", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """Non-2xx response; carries the status and the decoded error body."""
+
+    def __init__(self, status: int, body: dict):
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('type', 'Error')}: {error.get('message', body)}"
+        )
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Blocking JSON client over one keep-alive connection."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def request_json(self, method: str, path: str, payload=None) -> tuple[int, dict]:
+        """One request/response cycle; reconnects once on a dropped keep-alive."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        decoded = json.loads(data.decode("utf-8")) if data else {}
+        return response.status, decoded
+
+    def _checked(self, method: str, path: str, payload=None) -> dict:
+        status, body = self.request_json(method, path, payload)
+        if status >= 400:
+            raise ServiceError(status, body)
+        return body
+
+    def health(self) -> dict:
+        return self._checked("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/v1/stats")
+
+    def simulate(self, spec: dict) -> dict:
+        return self._checked("POST", "/v1/simulate", spec)
+
+    def batch(self, scenarios: list) -> dict:
+        return self._checked("POST", "/v1/batch", scenarios)
+
+    def result(self, key: str) -> dict:
+        return self._checked("GET", f"/v1/result/{key}")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class AsyncConnection:
+    """One keep-alive connection for coroutine-side load generation."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "AsyncConnection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request_json(self, method: str, path: str, payload=None) -> tuple[int, dict]:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: service\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("service closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length) if length else b""
+        return status, json.loads(data.decode("utf-8")) if data else {}
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

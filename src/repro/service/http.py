@@ -1,0 +1,129 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The service speaks a deliberately small slice of HTTP — JSON bodies over
+``GET``/``POST`` with keep-alive — implemented directly on
+:mod:`asyncio` streams so the library gains a network face without any
+new runtime dependency.  The framing is strict where it matters for a
+JSON API (request-line shape, header syntax, ``Content-Length`` bodies,
+size limits) and silent about everything it does not need (chunked
+transfer, multipart, range requests all answer 400).
+
+:func:`read_request` parses one request off a stream (``None`` on a
+clean end-of-stream between requests), :func:`encode_response` frames
+one JSON response, and :class:`HttpError` carries a status code from the
+parser to the connection loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpError", "Request", "encode_response", "read_request"]
+
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Protocol-level failure; ``status`` becomes the response code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed request: method, split target, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self):
+        """The body decoded as JSON (:class:`HttpError` 400 when it isn't)."""
+        if not self.body:
+            raise HttpError(400, "request body is empty (expected JSON)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader, *, max_body: int) -> Request | None:
+    """Parse one request off ``reader``; ``None`` on a clean end-of-stream."""
+    line = await reader.readline()
+    if not line:
+        return None  # connection closed between requests: normal keep-alive end
+    if len(line) >= _MAX_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, f"malformed request line: {line.decode('latin-1')!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        line = await reader.readline()
+        if len(line) >= _MAX_LINE:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line: {line.decode('latin-1')!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, f"more than {_MAX_HEADERS} headers")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "Content-Length is not an integer") from None
+    if length < 0:
+        raise HttpError(400, "Content-Length is negative")
+    if length > max_body:
+        raise HttpError(413, f"request body of {length} bytes exceeds the {max_body}-byte cap")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None  # peer hung up mid-body; nothing to answer
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(status: int, payload, *, keep_alive: bool = True) -> bytes:
+    """Frame one JSON response (``allow_nan=False``: the wire is strict JSON)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False).encode(
+        "utf-8"
+    )
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,89 @@
+"""Consistent-hash shard map over content-addressed cache keys.
+
+The serve layer's :func:`~repro.serve.cache.cache_key` is a sha256 hex
+digest of the scenario request, so it is already a uniformly distributed
+shard key; :class:`ShardMap` places each key on a node via a classic
+consistent-hash ring (every node owns ``points`` pseudo-random ring
+positions, a key belongs to the first node clockwise from its own
+position).  Adding or removing one node therefore only moves ``~1/N`` of
+the keyspace — the property that lets a multi-host deployment grow
+without flushing every host's cache.
+
+A single-host service runs with the degenerate one-node map; the ring is
+still consulted per request (and surfaced in ``/v1/stats``) so the
+routing decision is exercised long before a second host exists.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable, Sequence
+
+__all__ = ["ShardMap"]
+
+#: Ring positions per node: enough that per-node load is within a few
+#: percent of uniform, small enough that the ring stays a tiny array.
+DEFAULT_POINTS = 128
+
+
+def _ring_position(token: str) -> int:
+    return int.from_bytes(hashlib.sha256(token.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardMap:
+    """Immutable consistent-hash ring over named shard nodes.
+
+    ``nodes`` are opaque names — a deployment would use peer base URLs —
+    and must be unique.  ``owner_of(key)`` is deterministic across
+    processes and Python versions (sha256 only, no :func:`hash`).
+    """
+
+    def __init__(self, nodes: Sequence[str], *, points: int = DEFAULT_POINTS):
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("ShardMap needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate shard nodes: {nodes!r}")
+        if not all(isinstance(node, str) and node for node in nodes):
+            raise ValueError(f"shard nodes must be non-empty strings: {nodes!r}")
+        if points < 1:
+            raise ValueError(f"points must be >= 1, got {points}")
+        self.nodes = tuple(nodes)
+        self.points = int(points)
+        ring = []
+        for node in self.nodes:
+            for replica in range(self.points):
+                ring.append((_ring_position(f"{node}#{replica}"), node))
+        ring.sort()
+        self._positions = [position for position, _ in ring]
+        self._owners = [node for _, node in ring]
+
+    def owner_of(self, key: str) -> str:
+        """The node owning ``key`` (first ring point clockwise from its hash)."""
+        position = _ring_position(key)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0  # wrap: the ring is circular
+        return self._owners[index]
+
+    def assignments(self, keys: Iterable[str]) -> dict[str, int]:
+        """Keys-per-node histogram (balance diagnostics; used by the tests)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.owner_of(key)] += 1
+        return counts
+
+    def describe(self) -> dict[str, object]:
+        """JSON-able summary (what ``/v1/stats`` reports under ``shards``)."""
+        return {
+            "nodes": list(self.nodes),
+            "points_per_node": self.points,
+            "ring_size": len(self._positions),
+        }
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"ShardMap(nodes={list(self.nodes)!r}, points={self.points})"

@@ -303,3 +303,92 @@ class TestTopologyCommands:
         assert main(["simulate", str(path), "--json"]) == 0
         record = json.loads(capsys.readouterr().out)
         assert record["spec"] == spec.to_dict()
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _spec(seed: int = 0, **overrides) -> dict:
+        fields = dict(
+            dynamics="3-majority",
+            initial="paper-biased",
+            n=2_000,
+            k=3,
+            replicas=4,
+            seed=seed,
+            max_rounds=400,
+            stopping={"rule": "plurality-fraction", "fraction": 0.9},
+        )
+        fields.update(overrides)
+        return fields
+
+    def test_all_valid_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps([self._spec(0), self._spec(0)]))
+        assert main(["batch", str(path), "--json", "--no-cache"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == 0
+        assert [item["source"] for item in report["items"]] == ["run", "dedup"]
+        assert all(item["error"] is None for item in report["items"])
+
+    def test_invalid_items_reported_not_fatal(self, capsys, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(
+            json.dumps([self._spec(0), self._spec(0, n="nope"), self._spec(0)])
+        )
+        assert main(["batch", str(path), "--json", "--no-cache"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"] == 3
+        assert report["errors"] == 1
+        items = report["items"]
+        assert items[0]["source"] == "run" and items[0]["error"] is None
+        assert items[1]["source"] == "error"
+        assert items[1]["error"]["type"] == "ValueError"
+        assert "n must be an integer" in items[1]["error"]["message"]
+        # The valid duplicate still dedups against the first item.
+        assert items[2]["source"] == "dedup"
+        assert items[2]["key"] == items[0]["key"]
+
+    def test_invalid_items_human_output(self, capsys, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps([self._spec(seed=None)]))
+        assert main(["batch", str(path), "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "[error]" in out
+        assert "1 invalid" in out
+
+    def test_unseeded_entry_is_per_item_error(self, capsys, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps([self._spec(seed=None), self._spec(5)]))
+        assert main(["batch", str(path), "--json", "--no-cache"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["items"][0]["source"] == "error"
+        assert "seed" in report["items"][0]["error"]["message"]
+        assert report["items"][1]["source"] == "run"
+
+
+class TestLoadCommand:
+    def test_generate_writes_deterministic_corpus(self, capsys, tmp_path):
+        from repro.service.load import corpus_json
+
+        path = tmp_path / "corpus.json"
+        assert main(
+            ["load", "--generate", "--corpus", str(path), "--unique", "6", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        entries = json.loads(path.read_text())
+        assert len(entries) == 7  # 6 unique + 6 // 4 duplicates
+        for entry in entries:
+            ScenarioSpec.from_dict(entry).validate()
+        assert path.read_text() == corpus_json(seed=3, unique=6)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["load", "--smoke"])
+        assert args.corpus == "benchmarks/load/corpus.json"
+        assert args.smoke is True
+        assert args.concurrency == 4
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.host == "127.0.0.1"
+        assert args.workers == 0

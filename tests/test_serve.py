@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -473,3 +474,84 @@ class TestGraphSpecServing:
         assert again.summary()["misses"] == 0
         for first, second in zip(report.results, again.results):
             assert_results_identical(first, second)
+
+
+class TestCacheThreadSafety:
+    """The cache is shared by service handler threads; hammer it."""
+
+    def test_threaded_readers_writers_and_purge(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path, memory_entries=4)
+        specs = [small_spec(seed=s, record={"metrics": ["bias"], "every": 1}) for s in range(6)]
+        expected = {cache_key(spec): simulate_ensemble(spec) for spec in specs}
+        failures: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer(spec: ScenarioSpec) -> None:
+            key = cache_key(spec)
+            try:
+                while not stop.is_set():
+                    cache.put(key, expected[key])
+            except BaseException as exc:  # noqa: BLE001 — collected for the assert
+                failures.append(exc)
+
+        def reader(spec: ScenarioSpec) -> None:
+            key = cache_key(spec)
+            try:
+                while not stop.is_set():
+                    hit = cache.get(key)
+                    if hit is not None:
+                        assert_results_identical(hit, expected[key])
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        def churner() -> None:
+            try:
+                while not stop.is_set():
+                    cache.stats()
+                    cache.purge_stale()
+                    cache.clear()
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(s,)) for s in specs]
+        threads += [threading.Thread(target=reader, args=(s,)) for s in specs]
+        threads += [threading.Thread(target=churner)]
+        for t in threads:
+            t.start()
+        import time as _time
+
+        _time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not failures, failures
+        # After the dust settles the cache still round-trips bit-identically.
+        for spec in specs:
+            key = cache_key(spec)
+            cache.put(key, expected[key])
+            assert_results_identical(cache.get(key), expected[key])
+
+    def test_disk_put_tolerates_entry_dir_vanishing(self, tmp_path, monkeypatch):
+        # A concurrent `repro cache clear` can unlink the entry directory
+        # between the tmp-file write and the atomic renames; the put must
+        # degrade to a no-op miss instead of raising.
+        import shutil
+
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        key = cache_key(spec)
+        result = simulate_ensemble(spec)
+
+        real_replace = os.replace
+
+        def racing_replace(src, dst):
+            shutil.rmtree(tmp_path, ignore_errors=True)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", racing_replace)
+        cache.put(key, result)  # must not raise
+        monkeypatch.setattr(os, "replace", real_replace)
+        cache2 = ResultCache(tmp_path)
+        assert cache2.get(key) is None  # degraded to a miss, not corruption

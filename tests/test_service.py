@@ -1,0 +1,439 @@
+"""Tests for the network-facing service: HTTP framing, coalescing, sharding,
+the load harness, and end-to-end bit-identity against the library."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import ResultCache, ScenarioSpec, cache_key, simulate_ensemble
+from repro.service import (
+    BackgroundServer,
+    ScenarioService,
+    ServiceClient,
+    ServiceError,
+    ShardMap,
+)
+from repro.service.app import LatencyHistogram
+from repro.service.http import HttpError, encode_response
+from repro.service.load import (
+    SMOKE_ENTRIES,
+    corpus_json,
+    generate_corpus,
+    run_load,
+)
+
+
+def spec_dict(**overrides) -> dict:
+    fields = dict(
+        dynamics="3-majority",
+        initial="paper-biased",
+        n=4_000,
+        k=4,
+        replicas=6,
+        seed=0,
+        stopping={"rule": "plurality-fraction", "fraction": 0.9},
+        record={"metrics": ["bias"], "every": 1},
+    )
+    fields.update(overrides)
+    return fields
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = ScenarioService(cache=ResultCache(None), workers=0)
+    with BackgroundServer(service) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestShardMap:
+    def test_deterministic_and_total(self):
+        ring = ShardMap(["a", "b", "c"])
+        keys = [f"{i:064x}" for i in range(200)]
+        owners = [ring.owner_of(k) for k in keys]
+        assert owners == [ShardMap(["c", "a", "b"]).owner_of(k) for k in keys]
+        assert set(owners) <= {"a", "b", "c"}
+
+    def test_reasonable_balance(self):
+        ring = ShardMap(["a", "b", "c", "d"])
+        keys = [f"{i:064x}" for i in range(4_000)]
+        counts = {}
+        for key in keys:
+            owner = ring.owner_of(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        for node, count in counts.items():
+            assert 0.5 * 1_000 < count < 2.0 * 1_000, (node, counts)
+
+    def test_adding_a_node_moves_few_keys(self):
+        keys = [f"{i:064x}" for i in range(2_000)]
+        before = ShardMap(["a", "b", "c"])
+        after = ShardMap(["a", "b", "c", "d"])
+        moved = sum(
+            1
+            for k in keys
+            if before.owner_of(k) != after.owner_of(k)
+        )
+        # Consistent hashing: ~1/4 of keys move to the new node, not ~3/4.
+        assert moved < len(keys) * 0.45
+        for k in keys:
+            if before.owner_of(k) != after.owner_of(k):
+                assert after.owner_of(k) == "d"
+
+    def test_assignments_partition_keys(self):
+        ring = ShardMap(["x", "y"])
+        keys = [f"{i:064x}" for i in range(100)]
+        counts = ring.assignments(keys)
+        assert set(counts) == {"x", "y"}
+        assert sum(counts.values()) == len(keys)
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+
+class TestLatencyHistogram:
+    def test_quantiles_bracket_observations(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 3, 50, 200):
+            hist.observe(ms / 1000.0)
+        stats = hist.to_dict()
+        assert stats["count"] == 5
+        assert 0 < stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+        assert stats["p99_ms"] >= 100  # the 200 ms sample dominates the tail
+
+    def test_empty_histogram(self):
+        stats = LatencyHistogram().to_dict()
+        assert stats["count"] == 0
+        assert stats["p50_ms"] is None
+
+
+class TestHttpLayer:
+    def test_encode_response_is_strict_json(self):
+        raw = encode_response(200, {"x": 1.5})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200" in head
+        assert b"content-length" in head.lower()
+        assert json.loads(body) == {"x": 1.5}
+
+    def test_encode_response_rejects_nan(self):
+        with pytest.raises(ValueError):
+            encode_response(200, {"x": float("nan")})
+
+    def test_http_error_carries_status(self):
+        exc = HttpError(413, "too big")
+        assert exc.status == 413
+        assert "too big" in str(exc)
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 0
+        assert payload["cache"] is True
+
+    def test_simulate_cold_then_warm_bit_identical(self, client):
+        spec = spec_dict(seed=11)
+        cold = client.simulate(spec)
+        warm = client.simulate(spec)
+        assert cold["source"] == "run"
+        assert warm["source"] == "cache"
+        for field in ("key", "winners", "rounds", "converged", "plurality_color"):
+            assert cold[field] == warm[field]
+        assert cold["trace"]["digest"] == warm["trace"]["digest"]
+
+    def test_simulate_agrees_with_direct_library_call(self, client):
+        raw = spec_dict(seed=12)
+        served = client.simulate(raw)
+        direct = simulate_ensemble(ScenarioSpec.from_dict(raw))
+        assert served["key"] == cache_key(ScenarioSpec.from_dict(raw))
+        assert served["winners"] == [int(w) for w in direct.winners]
+        assert served["rounds"] == [int(r) for r in direct.rounds]
+        assert served["converged"] == [bool(c) for c in direct.converged]
+        assert served["plurality_color"] == direct.plurality_color
+        assert served["trace"]["digest"] == direct.trace.digest()
+        assert served["spec"] == ScenarioSpec.from_dict(raw).to_dict()
+
+    def test_result_lookup_roundtrip(self, client):
+        spec = spec_dict(seed=13)
+        posted = client.simulate(spec)
+        fetched = client.result(posted["key"])
+        assert fetched["source"] == "cache"
+        assert fetched["trace"]["digest"] == posted["trace"]["digest"]
+        assert fetched["winners"] == posted["winners"]
+
+    def test_result_unknown_key_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.result("0" * 64)
+        assert err.value.status == 404
+
+    def test_result_malformed_key_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.result("not-a-key")
+        assert err.value.status == 400
+
+    def test_unknown_route_is_404(self, client):
+        status, payload = client.request_json("GET", "/v1/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "HttpError"
+
+    def test_wrong_method_is_405(self, client):
+        status, payload = client.request_json("GET", "/v1/simulate")
+        assert status == 405
+        assert "POST" in payload["error"]["message"]
+
+    def test_malformed_json_body_is_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/simulate",
+                body=b"{nope",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["type"] == "HttpError"
+
+    def test_invalid_spec_is_400_with_envelope(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.simulate(spec_dict(n=-1))
+        assert err.value.status == 400
+        assert err.value.body["error"]["type"] == "ValueError"
+
+    def test_unseeded_spec_is_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.simulate(spec_dict(seed=None))
+        assert err.value.status == 400
+        assert "seed" in err.value.body["error"]["message"]
+
+    def test_unknown_spec_key_is_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.simulate(spec_dict(bogus_field=1))
+        assert err.value.status == 400
+
+    def test_stats_shape(self, client):
+        client.simulate(spec_dict(seed=14))
+        stats = client.stats()
+        assert stats["runs"] >= 1
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        assert "POST /v1/simulate" in stats["requests"]
+        per = stats["requests"]["POST /v1/simulate"]
+        assert per["count"] >= 1
+        assert per["p95_ms"] is not None
+        assert stats["shards"]["nodes"] == ["local"]
+
+    def test_batch_mixed_valid_invalid_and_dedup(self, client):
+        good = spec_dict(seed=15)
+        bad = spec_dict(seed=15, n="nope")
+        report = client.batch([good, bad, good])
+        assert report["requests"] == 3
+        assert report["errors"] == 1
+        assert report["unique"] == 1
+        sources = [item["source"] for item in report["items"]]
+        assert sources[0] in ("run", "cache")
+        assert sources[1] == "error"
+        assert sources[2] == "dedup"
+        assert report["items"][1]["error"]["type"] == "ValueError"
+        assert report["items"][0]["trace"]["digest"] == report["items"][2]["trace"]["digest"]
+
+    def test_batch_scenarios_wrapper_accepted(self, client):
+        report = client.batch({"scenarios": [spec_dict(seed=16)]})
+        assert report["requests"] == 1
+        assert report["items"][0]["error"] is None
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_run_once(self):
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        real_execute = service._execute
+
+        async def slow_execute(key, spec):
+            await asyncio.sleep(0.3)  # hold the in-flight window open
+            return await real_execute(key, spec)
+
+        service._execute = slow_execute
+        spec = spec_dict(seed=17)
+        fan_out = 4
+        payloads: list[dict] = []
+        errors: list[BaseException] = []
+
+        def one_request():
+            try:
+                with ServiceClient("127.0.0.1", srv.port, timeout=120.0) as c:
+                    payloads.append(c.simulate(spec))
+            except BaseException as exc:  # noqa: BLE001 — surfaced via the assert
+                errors.append(exc)
+
+        with BackgroundServer(service) as srv:
+            threads = [threading.Thread(target=one_request) for _ in range(fan_out)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            with ServiceClient("127.0.0.1", srv.port) as c:
+                stats = c.stats()
+        assert not errors, errors
+        assert stats["runs"] == 1
+        assert stats["coalesced"] == fan_out - 1
+        sources = sorted(p["source"] for p in payloads)
+        assert sources.count("coalesced") == fan_out - 1
+        digests = {p["trace"]["digest"] for p in payloads}
+        assert len(digests) == 1  # every follower saw the owner's bits
+
+    def test_coalesced_failure_propagates_to_followers(self):
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+
+        async def exploding_execute(key, spec):
+            await asyncio.sleep(0.2)
+            raise RuntimeError("engine exploded")
+
+        service._execute = exploding_execute
+        spec = spec_dict(seed=18)
+        statuses: list[int] = []
+
+        def one_request():
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                try:
+                    c.simulate(spec)
+                    statuses.append(200)
+                except ServiceError as exc:
+                    statuses.append(exc.status)
+
+        with BackgroundServer(service) as srv:
+            threads = [threading.Thread(target=one_request) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert statuses == [500, 500, 500]
+
+
+class TestProcessPoolWorkers:
+    def test_workers_pool_matches_inline(self, tmp_path):
+        spec = spec_dict(seed=19, n=2_000, replicas=4)
+        inline = ScenarioService(cache=ResultCache(None), workers=0)
+        pooled = ScenarioService(cache=ResultCache(None), workers=1)
+        with BackgroundServer(inline) as a, BackgroundServer(pooled) as b:
+            with ServiceClient("127.0.0.1", a.port) as ca, ServiceClient(
+                "127.0.0.1", b.port
+            ) as cb:
+                left = ca.simulate(spec)
+                right = cb.simulate(spec)
+        assert left["key"] == right["key"]
+        assert left["winners"] == right["winners"]
+        assert left["trace"]["digest"] == right["trace"]["digest"]
+
+
+class TestShardRouting:
+    def test_remote_owner_still_served_but_counted(self):
+        spec = spec_dict(seed=20)
+        key = cache_key(ScenarioSpec.from_dict(spec))
+        ring = ShardMap(["local", "other"])
+        owner = ring.owner_of(key)
+        service = ScenarioService(
+            cache=ResultCache(None),
+            workers=0,
+            shards=["local", "other"],
+            shard_self="local",
+        )
+        with BackgroundServer(service) as srv:
+            with ServiceClient("127.0.0.1", srv.port) as c:
+                payload = c.simulate(spec)
+                stats = c.stats()
+        assert payload["shard"] == owner
+        expected_remote = 1 if owner != "local" else 0
+        assert stats["remote_shard_requests"] == expected_remote
+
+
+class TestCorpus:
+    def test_generation_is_deterministic(self):
+        a = corpus_json(seed=0, unique=12, duplicates=3)
+        b = corpus_json(seed=0, unique=12, duplicates=3)
+        assert a == b
+        assert corpus_json(seed=1, unique=12, duplicates=3) != a
+
+    def test_entries_are_valid_specs(self):
+        entries = generate_corpus(seed=0, unique=8, duplicates=2)
+        assert len(entries) == 10
+        for entry in entries:
+            spec = ScenarioSpec.from_dict(entry)
+            assert spec.seed is not None
+            spec.validate()
+
+    def test_committed_corpus_matches_generator(self):
+        committed = (
+            __import__("pathlib").Path(__file__).resolve().parents[1]
+            / "benchmarks"
+            / "load"
+            / "corpus.json"
+        )
+        assert committed.exists(), "benchmarks/load/corpus.json is committed"
+        assert committed.read_text() == corpus_json()
+
+
+class TestLoadDriver:
+    def test_run_load_smoke_replays_identically(self, server):
+        specs = generate_corpus(seed=0, unique=4, duplicates=2)[:SMOKE_ENTRIES]
+        report = asyncio.run(
+            run_load("127.0.0.1", server.port, specs, concurrency=2)
+        )
+        assert report["health"]["status"] == "ok"
+        assert report["replay_identical"] is True
+        phases = report["phases"]
+        assert phases["cold"]["requests"] == len(specs)
+        assert phases["warm"]["requests"] == len(specs)
+        assert phases["warm"]["sources"].get("cache", 0) + phases["warm"][
+            "sources"
+        ].get("coalesced", 0) == len(specs)
+        assert phases["lookup"]["requests"] == report["unique_keys"]
+        for phase in phases.values():
+            latency = phase["latency_ms"]
+            assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+
+class TestValidationMemo:
+    def test_validate_runs_once_per_unique_spec(self, monkeypatch):
+        # Registry validation can materialise a topology graph; the warm
+        # path must not re-pay it for a spec already seen (app._prepare).
+        calls: list[int] = []
+        real_validate = ScenarioSpec.validate
+
+        def counting_validate(self):
+            calls.append(self.seed)
+            return real_validate(self)
+
+        monkeypatch.setattr(ScenarioSpec, "validate", counting_validate)
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        entry = spec_dict(seed=30)
+        for _ in range(3):
+            spec, error = service._prepare(entry)
+            assert error is None and spec is not None
+        assert calls == [30]
+        other = spec_dict(seed=31)
+        service._prepare(other)
+        assert calls == [30, 31]
+
+    def test_invalid_specs_are_not_memoised(self):
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        bad = spec_dict(dynamics="no-such-dynamics")
+        for _ in range(2):
+            spec, error = service._prepare(bad)
+            assert spec is None
+            assert error["type"] in ("KeyError", "ValueError")
+        assert len(service._validated) == 0
