@@ -84,10 +84,11 @@ from .core import (
     three_input_rule,
     three_majority_law,
 )
+from .faults import FaultPlan, FaultRule
 from .scenario import ResolvedScenario, ScenarioSpec, simulate, simulate_ensemble
 from .serve import BatchReport, ResultCache, cache_key, run_batch
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 _SERVICE_EXPORTS = ("BackgroundServer", "ScenarioService", "ServiceClient", "ShardMap")
 
@@ -114,6 +115,8 @@ __all__ = [
     "DYNAMICS",
     "Dynamics",
     "EnsembleResult",
+    "FaultPlan",
+    "FaultRule",
     "HPlurality",
     "MedianDynamics",
     "MonochromaticStop",

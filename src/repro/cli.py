@@ -214,6 +214,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", default=None, help="comma-separated consistent-hash node names"
     )
     serve.add_argument("--shard-self", default="local")
+    serve.add_argument(
+        "--memory-entries",
+        type=int,
+        default=None,
+        help="in-memory LRU capacity of the result cache (entries)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline for work endpoints (504 past it)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=0,
+        help="shed work requests with 429 past this many in flight (0: unbounded)",
+    )
+    serve.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="seconds before a worker attempt counts as stalled and retries",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds SIGTERM waits for in-flight work before closing",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="arm a repro.faults plan: inline JSON or @path/to/plan.json",
+    )
 
     load = sub.add_parser(
         "load", help="replay the seeded scenario corpus against a service"
@@ -245,6 +280,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker-pool width for the spawned service",
+    )
+    load.add_argument(
+        "--fault-plan",
+        default=None,
+        help=(
+            "arm a repro.faults plan in the spawned service: inline JSON or "
+            "@path/to/plan.json (the chaos smoke's switch)"
+        ),
+    )
+    load.add_argument(
+        "--service-deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline for the spawned service's work endpoints",
+    )
+    load.add_argument(
+        "--service-max-in-flight",
+        type=int,
+        default=0,
+        help="in-flight cap for the spawned service (429 sheds past it)",
+    )
+    load.add_argument(
+        "--service-memory-entries",
+        type=int,
+        default=None,
+        help=(
+            "in-memory LRU capacity of the spawned service's cache; 1 forces "
+            "disk reads so cache fault points can fire"
+        ),
     )
     load.add_argument("--report", default=None, help="write the full JSON report here")
     load.add_argument("--json", action="store_true", help="print the full JSON report")
@@ -463,9 +527,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             [spec for _, spec in valid], cache=cache, processes=args.processes
         )
         by_position = {
-            position: (result, key, source)
-            for (position, _), result, key, source in zip(
-                valid, report.results, report.keys, report.sources
+            position: (result, key, source, run_error)
+            for (position, _), result, key, source, run_error in zip(
+                valid, report.results, report.keys, report.sources, report.errors
             )
         }
         summary = report.summary()
@@ -473,7 +537,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         by_position = {}
         summary = {
             "requests": 0, "unique": 0, "hits": 0, "misses": 0,
-            "deduped": 0, "wall_seconds": 0.0,
+            "deduped": 0, "failed": 0, "retries": 0, "wall_seconds": 0.0,
         }
 
     items = []
@@ -483,7 +547,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             errors += 1
             items.append({"key": None, "source": "error", "error": error})
             continue
-        result, key, source = by_position[position]
+        result, key, source, run_error = by_position[position]
+        if run_error is not None:
+            # The spec validated but failed inside a worker: same envelope
+            # shape, but keyed — siblings in the batch were unaffected.
+            errors += 1
+            items.append({"key": key, "source": source, "error": run_error})
+            continue
         items.append(
             {
                 "key": key,
@@ -519,10 +589,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"win={item['plurality_win_rate']:.3f} "
             f"rounds_mean={'n/a' if mean is None else format(mean, '.1f')}"
         )
+    retries = summary.get("retries", 0)
+    retry_note = f", {retries} worker retries" if retries else ""
     print(
         f"{summary['requests']} requests ({summary['unique']} unique): "
         f"{summary['hits']} cache hits, {summary['misses']} executed, "
-        f"{summary['deduped']} deduped, {summary['errors']} invalid "
+        f"{summary['deduped']} deduped, {summary['errors']} failed{retry_note} "
         f"in {summary['wall_seconds']:.2f}s"
     )
     return exit_code
@@ -538,6 +610,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         forward += ["--no-cache"]
     if args.shards:
         forward += ["--shards", args.shards, "--shard-self", args.shard_self]
+    if args.memory_entries is not None:
+        forward += ["--memory-entries", str(args.memory_entries)]
+    if args.deadline_ms is not None:
+        forward += ["--deadline-ms", str(args.deadline_ms)]
+    if args.max_in_flight:
+        forward += ["--max-in-flight", str(args.max_in_flight)]
+    if args.worker_timeout is not None:
+        forward += ["--worker-timeout", str(args.worker_timeout)]
+    forward += ["--drain-grace", str(args.drain_grace)]
+    if args.fault_plan:
+        forward += ["--fault-plan", args.fault_plan]
     return service_main(forward)
 
 
@@ -576,12 +659,21 @@ def _cmd_load(args: argparse.Namespace) -> int:
         server=None if args.server is None else _parse_server(args.server),
         service_workers=args.service_workers,
         p95_budget_ms=budget,
+        fault_plan=args.fault_plan,
+        deadline_ms=args.service_deadline_ms,
+        max_in_flight=args.service_max_in_flight,
+        memory_entries=args.service_memory_entries,
     )
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    ok = report["replay_identical"] and report.get("budget", {}).get("within_budget", True)
+    degraded = report.get("degraded", {})
+    ok = (
+        report["replay_identical"]
+        and report.get("budget", {}).get("within_budget", True)
+        and degraded.get("ok", True)
+    )
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if ok else 1
@@ -599,6 +691,14 @@ def _cmd_load(args: argparse.Namespace) -> int:
         f"cache hit rate: {report['server_stats']['cache_hit_rate']}  "
         f"coalesced: {report['server_stats']['coalesced']}"
     )
+    if degraded:
+        statuses = ", ".join(f"{k}×{v}" for k, v in sorted(degraded["statuses"].items()))
+        print(
+            f"degraded ok: {degraded['ok']}  retried: {degraded['retried']}  "
+            f"shed: {degraded['shed']}  deadline hits: {degraded['deadline_hits']}  "
+            f"worker retries: {degraded['worker_retries']}  "
+            f"quarantined: {degraded['cache_quarantined']}  [{statuses}]"
+        )
     if "budget" in report:
         verdict = "within" if report["budget"]["within_budget"] else "OVER"
         print(

@@ -30,32 +30,57 @@ Correctness contract (asserted in ``tests/test_serve.py``):
   are reclaimed by :meth:`ResultCache.purge_stale` (``repro cache
   purge``) or wholesale by :meth:`ResultCache.clear`;
 * scenarios with ``seed=None`` (OS entropy) are not cacheable and are
-  rejected at key time.
+  rejected at key time;
+* a corrupted disk entry degrades to a recomputable **miss**, never to an
+  unpickling crash or a wrong-bits hit: every ``.npz`` payload is
+  checksummed (sha256, recorded in the manifest) at write time and
+  verified on every disk read.  An entry that fails verification — or
+  fails to decode — is moved aside into ``quarantine/`` (counted in
+  :meth:`ResultCache.stats` under ``quarantined``) so operators can
+  inspect it, while the caller simply recomputes.  A *transient* read
+  error (``OSError``) is also a miss but leaves the possibly-good entry
+  in place (counted under ``read_errors``).  Both paths are exercised
+  deterministically via the :mod:`repro.faults` points
+  ``cache.read-error`` and ``cache.corrupt-payload``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import tempfile
 import threading
+import zipfile
 from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from ..core.metrics import TraceSet
 from ..core.process import ENGINE_SCHEMA_VERSION, EnsembleResult
 from ..scenario import ScenarioSpec
 
-__all__ = ["DEFAULT_MEMORY_ENTRIES", "ResultCache", "cache_key", "default_cache_dir"]
+__all__ = [
+    "DEFAULT_MEMORY_ENTRIES",
+    "QUARANTINE_DIR",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+]
 
 #: Default capacity of the in-memory LRU layer (entries, not bytes).
 DEFAULT_MEMORY_ENTRIES = 256
 
 _MANIFEST_SUFFIX = ".json"
 _ARRAYS_SUFFIX = ".npz"
+
+#: Subdirectory (under the cache root) where corrupt entries are moved.
+#: Out of the ``*.json`` glob namespace, so stats()/clear()/purge_stale()
+#: never mistake a quarantined file for a live entry.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -224,6 +249,27 @@ def _copy_result(result: EnsembleResult) -> EnsembleResult:
     )
 
 
+def _corrupt_file(path: Path, n_bytes: int = 16) -> None:
+    """Flip ``n_bytes`` mid-file, in place (the corrupt-payload injection).
+
+    Deterministic damage: inverts bytes starting at the file's midpoint, so
+    the payload sha256 can no longer match the manifest checksum.
+    """
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            offset = size // 2
+            handle.seek(offset)
+            chunk = handle.read(min(n_bytes, size - offset))
+            handle.seek(offset)
+            handle.write(bytes(byte ^ 0xFF for byte in chunk))
+    except OSError:
+        pass
+
+
 class ResultCache:
     """LRU-over-disk store of ensemble results, keyed by :func:`cache_key`.
 
@@ -271,6 +317,8 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.invalidated = 0
+        self.quarantined = 0
+        self.read_errors = 0
 
     # -- keying --------------------------------------------------------------
 
@@ -354,6 +402,8 @@ class ResultCache:
                 "misses": self.misses,
                 "stores": self.stores,
                 "invalidated": self.invalidated,
+                "quarantined": self.quarantined,
+                "read_errors": self.read_errors,
             }
 
     def purge_stale(self) -> int:
@@ -387,6 +437,13 @@ class ResultCache:
                 for manifest in self.root.glob("*" + _MANIFEST_SUFFIX):
                     keys.add(manifest.stem)
                     self._remove_entry(manifest)
+                quarantine = self.root / QUARANTINE_DIR
+                if quarantine.is_dir():
+                    for stale in quarantine.iterdir():
+                        try:
+                            stale.unlink()
+                        except OSError:
+                            pass
             return len(keys)
 
     # -- internals -----------------------------------------------------------
@@ -407,21 +464,46 @@ class ResultCache:
         manifest_path, arrays_path = self._paths(key)
         if not manifest_path.exists():
             return None
+        if faults.fire("cache.read-error") is not None:
+            # Injected transient disk I/O failure: a miss, but the entry
+            # (which may be perfectly good) stays on disk for the next read.
+            self.read_errors += 1
+            return None
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            self._remove_entry(manifest_path)
+        except json.JSONDecodeError:
+            self._quarantine(key)  # corrupt manifest: preserve for inspection
+            return None
+        except OSError:
+            self.read_errors += 1
             return None
         if manifest.get("schema") != self.schema_version:
             # Written by a different engine contract: invalidate, don't serve.
             self._remove_entry(manifest_path)
             self.invalidated += 1
             return None
+        rule = faults.fire("cache.corrupt-payload")
+        if rule is not None:
+            # Corrupt the *on-disk* payload in place, so the checksum →
+            # quarantine → recompute path engages end to end, exactly as it
+            # would for real bit rot.
+            _corrupt_file(arrays_path, int(rule.params.get("bytes", 16)))
         try:
-            with np.load(arrays_path) as arrays:
+            blob = arrays_path.read_bytes()
+        except OSError:
+            self.read_errors += 1
+            return None
+        checksum = manifest.get("checksum")
+        if checksum is not None and hashlib.sha256(blob).hexdigest() != checksum:
+            self._quarantine(key)
+            return None
+        try:
+            with np.load(io.BytesIO(blob)) as arrays:
                 return _decode(manifest, arrays)
-        except (OSError, KeyError, ValueError):
-            self._remove_entry(manifest_path)
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            # Decode failure past the checksum gate (or a legacy entry with
+            # no checksum): corruption either way — quarantine, don't serve.
+            self._quarantine(key)
             return None
 
     def _disk_put(self, key: str, result: EnsembleResult) -> None:
@@ -452,6 +534,13 @@ class ResultCache:
             ) as handle:
                 save(handle, **arrays)
                 tmp_arrays = handle.name
+            # Checksum the exact bytes that land on disk (np.savez seeks to
+            # patch zip headers, so hashing must read back, not wrap the
+            # stream).  Verified on every disk read; a mismatch quarantines
+            # the entry instead of serving or crashing on rotten bits.
+            manifest["checksum"] = hashlib.sha256(
+                Path(tmp_arrays).read_bytes()
+            ).hexdigest()
         except OSError:
             return
         tmp_manifest = None
@@ -478,6 +567,24 @@ class ResultCache:
                     os.unlink(stale)
                 except OSError:
                     pass
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry's files into ``quarantine/`` (fallback: delete).
+
+        Either way the entry stops being servable — the caller sees a miss
+        and recomputes — but quarantining preserves the bad bytes for
+        post-mortem instead of destroying the evidence.
+        """
+        manifest_path, arrays_path = self._paths(key)
+        quarantine = self.root / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            for path in (manifest_path, arrays_path):
+                if path.exists():
+                    os.replace(path, quarantine / path.name)
+        except OSError:
+            self._remove_entry(manifest_path)
+        self.quarantined += 1
 
     def _remove_entry(self, manifest_path: Path) -> None:
         for path in (manifest_path, manifest_path.with_suffix(_ARRAYS_SUFFIX)):

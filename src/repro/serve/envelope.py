@@ -18,11 +18,31 @@ from collections.abc import Mapping, Sequence
 
 from ..scenario import ScenarioSpec
 
-__all__ = ["error_envelope", "prepare_spec", "prepare_specs"]
+__all__ = ["EnvelopeError", "error_envelope", "prepare_spec", "prepare_specs"]
+
+
+class EnvelopeError(Exception):
+    """An exception reconstructed from a ``{"type", "message"}`` envelope.
+
+    Worker shards report per-item failures as envelopes (picklable,
+    JSON-able); when a caller needs the failure back as an exception —
+    the service raising it to coalesced followers — this carries the
+    original envelope so :func:`error_envelope` round-trips the worker's
+    exception type instead of reporting ``EnvelopeError``.
+    """
+
+    def __init__(self, envelope: dict[str, str]):
+        super().__init__(envelope.get("message", "worker failure"))
+        self.envelope = {
+            "type": str(envelope.get("type", "Error")),
+            "message": str(envelope.get("message", "")),
+        }
 
 
 def error_envelope(exc: BaseException) -> dict[str, str]:
     """JSON-able ``{"type", "message"}`` form of one validation failure."""
+    if isinstance(exc, EnvelopeError):
+        return dict(exc.envelope)
     return {"type": type(exc).__name__, "message": str(exc)}
 
 

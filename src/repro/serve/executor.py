@@ -13,42 +13,87 @@ pickle-friendly shard of work per worker, small arrays back).
 Determinism: every spec carries its own seed, so a result is a pure
 function of the spec — identical whichever worker (or the parent) runs it,
 and bit-identical to a direct :func:`~repro.scenario.simulate_ensemble`
-call.  That is what makes the dedup and the cache sound.  Specs with
-``seed=None`` are rejected up front.
+call.  That is what makes the dedup and the cache sound — **and** what
+makes retrying a lost shard safe: re-running a task after a worker crash
+reproduces the exact same bits the dead worker would have returned.
+
+Failure semantics (the resilience contract, tested in
+``tests/test_serve.py``):
+
+* a spec that *raises* inside a worker (a deterministic item failure)
+  becomes a per-item ``{"type", "message"}`` error envelope in
+  :attr:`BatchReport.errors` — one poisoned spec never takes down its
+  batch siblings;
+* a worker that *dies* (``BrokenProcessPool``) or *stalls* past
+  ``worker_timeout`` loses its shard, not the batch: the pool is
+  respawned and the lost tasks are retried with exponential backoff +
+  deterministic jitter, up to ``max_attempts`` total attempts, with
+  per-key retry counts recorded in :attr:`BatchReport.retries`;
+* both failure modes are injectable deterministically through
+  :mod:`repro.faults` (``executor.worker-crash`` /
+  ``executor.worker-stall``), which is how the chaos suite exercises
+  these paths without real hardware failures.
+
+Specs with ``seed=None`` are rejected up front.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import random
 import time
 from collections.abc import Sequence
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..core.process import EnsembleResult
 from ..scenario import ScenarioSpec, simulate_ensemble
 from .cache import ResultCache, cache_key
+from .envelope import error_envelope
 
-__all__ = ["BatchReport", "run_batch"]
+__all__ = ["BatchReport", "WorkerPoolError", "run_batch"]
 
 #: Per-request provenance labels in :attr:`BatchReport.sources`.
 FROM_CACHE = "cache"
 FROM_RUN = "run"
 FROM_DEDUP = "dedup"
+FROM_ERROR = "error"
+
+#: Retry policy defaults for lost shards (crash / stall recovery).
+DEFAULT_MAX_ATTEMPTS = 4
+BACKOFF_BASE_SECONDS = 0.05
+BACKOFF_CAP_SECONDS = 2.0
+
+
+class WorkerPoolError(RuntimeError):
+    """Every attempt at executing a shard's tasks failed (crash/stall)."""
 
 
 @dataclass
 class BatchReport:
     """Outcome of one :func:`run_batch` call, in request order."""
 
-    results: list[EnsembleResult]
+    results: list[EnsembleResult | None]
     keys: list[str]
     #: Per-request provenance: ``"cache"`` (served from the cache), ``"run"``
-    #: (freshly executed), or ``"dedup"`` (duplicate of an earlier request in
-    #: the same batch).
+    #: (freshly executed), ``"dedup"`` (duplicate of an earlier request in
+    #: the same batch), or ``"error"`` (the item failed inside a worker;
+    #: see :attr:`errors`).
     sources: list[str] = field(repr=False)
+    #: Per-request ``{"type", "message"}`` envelope where the item failed
+    #: in a worker, None elsewhere — aligned with :attr:`results`, which
+    #: holds None at the same positions.
+    errors: list[dict | None] = field(default_factory=list, repr=False)
+    #: Per-key retry counts for tasks whose shard was lost to a worker
+    #: crash or stall and re-executed (provenance for the chaos suite).
+    retries: dict[str, int] = field(default_factory=dict, repr=False)
     hits: int = 0
     misses: int = 0
     deduped: int = 0
+    failed: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -63,20 +108,45 @@ class BatchReport:
             "hits": self.hits,
             "misses": self.misses,
             "deduped": self.deduped,
+            "failed": self.failed,
+            "retries": int(sum(self.retries.values())),
             "wall_seconds": self.wall_seconds,
         }
 
 
-def _run_shard(shard: list[tuple[str, str]]) -> list[tuple[str, EnsembleResult]]:
+def _run_shard(shard: list[tuple[str, str]]) -> list[tuple[str, object]]:
     """Worker: execute one shard of ``(key, spec_json)`` tasks.
 
     Module-level (picklable) and stateless; the spec JSON is the entire
-    task description, per the coarse-communication discipline.
+    task description, per the coarse-communication discipline.  Each pair
+    in the return value carries either the :class:`EnsembleResult` or a
+    per-item ``{"type", "message"}`` error envelope — a deterministic
+    item failure must not poison its shard siblings.  Injected faults
+    (:mod:`repro.faults`) deliberately bypass the per-item catch: they
+    model *infrastructure* failures, which are retryable, unlike a spec
+    that fails the same way on every attempt.
     """
-    out = []
+    out: list[tuple[str, object]] = []
     for key, spec_json in shard:
-        spec = ScenarioSpec.from_json(spec_json)
-        out.append((key, simulate_ensemble(spec)))
+        rule = faults.fire("executor.worker-crash")
+        if rule is not None:
+            if rule.params.get("hard"):
+                # Simulated hard death: the pool sees a vanished worker
+                # (BrokenProcessPool), exactly like an OOM kill.
+                os._exit(3)
+            raise faults.InjectedWorkerCrash(
+                f"injected worker crash before task {key[:12]}"
+            )
+        rule = faults.fire("executor.worker-stall")
+        if rule is not None:
+            time.sleep(float(rule.params.get("seconds", 30.0)))
+        try:
+            spec = ScenarioSpec.from_json(spec_json)
+            out.append((key, simulate_ensemble(spec)))
+        except faults.InjectedFault:
+            raise
+        except Exception as exc:  # noqa: BLE001 — becomes the item's envelope
+            out.append((key, error_envelope(exc)))
     return out
 
 
@@ -85,6 +155,8 @@ def run_batch(
     *,
     cache: ResultCache | None = None,
     processes: int | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    worker_timeout: float | None = None,
 ) -> BatchReport:
     """Execute ``specs``, merging cache hits and fresh runs in request order.
 
@@ -101,6 +173,15 @@ def run_batch(
         Pool width for the misses.  ``None`` lets ``multiprocessing`` pick;
         ``1`` (or a batch with at most one miss) runs inline with no pool —
         the dependency-free fallback path.
+    max_attempts:
+        Total attempts per task before the batch raises
+        :class:`WorkerPoolError` — only worker *crashes and stalls* retry
+        (results are pure functions of the spec, so a retry is
+        bit-identical); deterministic item failures never do.
+    worker_timeout:
+        Seconds to wait for a pool attempt before declaring the
+        outstanding shards stalled and retrying them on a fresh pool.
+        ``None`` (default) waits indefinitely.
 
     Duplicate requests share one ``EnsembleResult`` object; treat results
     as read-only (the cache already hands out defensive copies).
@@ -127,9 +208,10 @@ def run_batch(
             sources.append(FROM_DEDUP)
         else:
             owner_of[key] = position
-            sources.append(None)  # filled below with "cache" or "run"
+            sources.append(None)  # filled below with "cache", "run" or "error"
 
     results: dict[str, EnsembleResult] = {}
+    failures: dict[str, dict] = {}
     to_run: list[tuple[str, str]] = []
     for key, position in owner_of.items():
         cached = cache.get(key) if cache is not None else None
@@ -141,37 +223,137 @@ def run_batch(
             sources[position] = FROM_RUN
     hits = len(owner_of) - len(to_run)
 
+    retries: dict[str, int] = {}
     if to_run:
-        fresh = _execute(to_run, processes)
-        for key, result in fresh:
-            results[key] = result
-            if cache is not None:
-                cache.put(key, result)
+        fresh = _execute(
+            to_run,
+            processes,
+            max_attempts=max_attempts,
+            worker_timeout=worker_timeout,
+            retries=retries,
+        )
+        for key, payload in fresh:
+            if isinstance(payload, dict):  # per-item worker error envelope
+                failures[key] = payload
+                sources[owner_of[key]] = FROM_ERROR
+            else:
+                results[key] = payload
+                if cache is not None:
+                    cache.put(key, payload)
 
-    ordered = [results[key] for key in keys]
+    ordered = [results.get(key) for key in keys]
+    errors = [failures.get(key) for key in keys]
     return BatchReport(
         results=ordered,
         keys=keys,
         sources=sources,
+        errors=errors,
+        retries=retries,
         hits=hits,
         misses=len(to_run),
         deduped=len(specs) - len(owner_of),
+        failed=sum(1 for envelope in errors if envelope is not None),
         wall_seconds=time.perf_counter() - start,
     )
 
 
+def backoff_delay(attempt: int, jitter: random.Random) -> float:
+    """Exponential backoff with jitter: uniformly 50–150% of the nominal step.
+
+    The jitter source is an explicit ``random.Random`` so callers that
+    need reproducible schedules (the chaos tests) can seed it.
+    """
+    nominal = min(BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * (2 ** attempt))
+    return nominal * (0.5 + jitter.random())
+
+
 def _execute(
-    tasks: list[tuple[str, str]], processes: int | None
-) -> list[tuple[str, EnsembleResult]]:
-    """Run the miss tasks, sharded over a spawn pool (or inline when trivial)."""
+    tasks: list[tuple[str, str]],
+    processes: int | None,
+    *,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    worker_timeout: float | None = None,
+    retries: dict[str, int] | None = None,
+) -> list[tuple[str, object]]:
+    """Run the miss tasks with crash/stall recovery; records per-key retries.
+
+    Each attempt runs the still-pending tasks — inline when trivial,
+    sharded over a **fresh** spawn pool otherwise (a broken or stalled
+    pool is never reused).  Tasks whose shard completed are banked across
+    attempts; only lost tasks retry.
+    """
+    if retries is None:
+        retries = {}
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    # Deterministic jitter: the schedule is a function of the task list,
+    # not of wall clock or PID, so chaos runs replay identically.
+    jitter = random.Random(len(tasks) * 1_000_003 + max_attempts)
+    pending = list(tasks)
+    done: list[tuple[str, object]] = []
+    last_error: BaseException | None = None
+    for attempt in range(max_attempts):
+        if attempt:
+            for key, _ in pending:
+                retries[key] = retries.get(key, 0) + 1
+            time.sleep(backoff_delay(attempt - 1, jitter))
+        completed, pending, last_error = _one_attempt(
+            pending, processes, worker_timeout
+        )
+        done.extend(completed)
+        if not pending:
+            return done
+    raise WorkerPoolError(
+        f"{len(pending)} task(s) still failing after {max_attempts} attempts"
+    ) from last_error
+
+
+def _one_attempt(
+    tasks: list[tuple[str, str]],
+    processes: int | None,
+    worker_timeout: float | None,
+) -> tuple[list[tuple[str, object]], list[tuple[str, str]], BaseException | None]:
+    """One execution attempt: ``(completed pairs, lost tasks, last error)``."""
     if processes == 1 or len(tasks) <= 1:
-        return _run_shard(tasks)
+        try:
+            return _run_shard(tasks), [], None
+        except faults.InjectedFault as exc:
+            return [], list(tasks), exc
     ctx = mp.get_context("spawn")  # fork-safety with BLAS threads
     workers = processes if processes is not None else min(len(tasks), ctx.cpu_count() or 1)
     workers = max(1, min(workers, len(tasks)))
     if workers == 1:
-        return _run_shard(tasks)
+        try:
+            return _run_shard(tasks), [], None
+        except faults.InjectedFault as exc:
+            return [], list(tasks), exc
     shards = [tasks[offset::workers] for offset in range(workers)]
-    with ctx.Pool(processes=workers) as pool:
-        shard_results = pool.map(_run_shard, shards)
-    return [pair for shard in shard_results for pair in shard]
+    completed: list[tuple[str, object]] = []
+    lost: list[tuple[str, str]] = []
+    last_error: BaseException | None = None
+    # A fresh pool per attempt: after a crash the old pool is broken, and
+    # after a stall its worker is wedged — respawning is the recovery.
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    try:
+        futures = {pool.submit(_run_shard, shard): shard for shard in shards}
+        finished, unfinished = wait(
+            futures, timeout=worker_timeout, return_when=FIRST_EXCEPTION
+        )
+        # FIRST_EXCEPTION returns early when a shard dies; shards still in
+        # flight at that point (or past the stall timeout) count as lost
+        # and retry — their tasks are pure, so nothing is double-counted.
+        for future in finished:
+            try:
+                completed.extend(future.result())
+            except (BrokenProcessPool, faults.InjectedFault) as exc:
+                last_error = exc
+                lost.extend(futures[future])
+        for future in unfinished:
+            if last_error is None:
+                last_error = TimeoutError(
+                    f"shard stalled past worker_timeout={worker_timeout}s"
+                )
+            lost.extend(futures[future])
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return completed, lost, last_error

@@ -73,18 +73,50 @@ simulate payload (``source: "cache"``, no ``spec`` echo) or 404.
 executions), ``coalesced`` (requests that awaited another request's
 run — two concurrent duplicates show ``runs == 1, coalesced == 1``),
 ``remote_shard_requests``, ``cache`` (the
-:meth:`~repro.serve.cache.ResultCache.stats` dict), ``cache_hit_rate``,
-``shards`` (the ring), and per-endpoint latency histograms under
-``requests`` (``count``/``errors``/``mean_ms``/``p50_ms``/``p95_ms``/
-``p99_ms``).
+:meth:`~repro.serve.cache.ResultCache.stats` dict, including the
+``quarantined``/``read_errors`` corruption counters), ``cache_hit_rate``,
+``shards`` (the ring), resilience counters (``shed``, ``deadline_hits``,
+``worker_retries``, ``dropped_connections``, ``draining``, ``limits``,
+``faults`` — the armed fault plan's trigger state, or ``null``), and
+per-endpoint latency histograms under ``requests``
+(``count``/``errors``/``mean_ms``/``p50_ms``/``p95_ms``/``p99_ms``).
+
+Resilience status codes
+-----------------------
+Beyond 200/400/404/405/500, clients must expect:
+
+* **429** — the work cap (``--max-in-flight``) is hit; the request was
+  shed before any work started.  Carries a ``Retry-After: 1`` header and
+  an ``Overloaded`` envelope; retry with backoff
+  (:class:`~repro.service.client.RetryPolicy` does this).
+* **503** — the service is draining after SIGTERM; a ``Draining``
+  envelope, and the connection closes after the response.  In-flight
+  work still completes within the drain grace.
+* **504** — the per-request deadline expired (``--deadline-ms`` config
+  or an ``x-deadline-ms`` request header, header wins): a
+  ``DeadlineExceeded`` envelope for the request owning the run, an
+  ``OwnerCancelled`` envelope for coalesced followers whose owner's
+  budget expired first.
+
+All three are *safe to retry*: results are content-addressed, so a
+resent request either recomputes deterministically or hits the cache.
 
 The load harness (:mod:`.load`) replays the committed seeded corpus
 ``benchmarks/load/corpus.json`` against a spawned service — see ``repro
-load --help`` and the README's "Serving over the network" section.
+load --help`` and the README's "Serving over the network" section.  Under
+``--fault-plan`` it doubles as the chaos harness: the report gains a
+``degraded`` verdict asserting nothing worse than 429/504 leaked while
+the injected faults (:mod:`repro.faults`) were firing.
 """
 
 from .app import LatencyHistogram, ScenarioService, result_payload
-from .client import AsyncConnection, ServiceClient, ServiceError
+from .client import (
+    AsyncConnection,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
 from .load import drive, generate_corpus, run_load, spawn_service, write_corpus
 from .runner import BackgroundServer
 from .sharding import ShardMap
@@ -93,9 +125,11 @@ __all__ = [
     "AsyncConnection",
     "BackgroundServer",
     "LatencyHistogram",
+    "RetryPolicy",
     "ScenarioService",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
     "ShardMap",
     "drive",
     "generate_corpus",

@@ -1,4 +1,9 @@
-"""Run the scenario service: ``python -m repro.service [options]``."""
+"""Run the scenario service: ``python -m repro.service [options]``.
+
+Shutdown semantics: SIGTERM drains gracefully (stop accepting, finish
+in-flight work within ``--drain-grace`` seconds, then close) — the
+orchestrator-friendly path; SIGINT (Ctrl-C) stops immediately.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +13,8 @@ import contextlib
 import signal
 import sys
 
-from ..serve.cache import ResultCache, default_cache_dir
+from .. import faults
+from ..serve.cache import DEFAULT_MEMORY_ENTRIES, ResultCache, default_cache_dir
 from .app import ScenarioService
 
 
@@ -28,6 +34,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="serve without any result cache"
     )
     parser.add_argument(
+        "--memory-entries",
+        type=int,
+        default=DEFAULT_MEMORY_ENTRIES,
+        help=(
+            "in-memory LRU capacity of the result cache (entries); small values "
+            "force disk reads, which is how the chaos smoke exercises the "
+            "corruption-quarantine path"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -44,27 +60,98 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shard-self", default="local", help="this node's name in --shards"
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "default per-request deadline for the work endpoints (ms); exceeded "
+            "deadlines answer 504.  Clients can override per request with an "
+            "x-deadline-ms header"
+        ),
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=0,
+        help=(
+            "concurrent-work cap; excess work requests are shed with 429 + "
+            "Retry-After.  0 (default) = unbounded"
+        ),
+    )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="seconds before one worker attempt counts as stalled and retries",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds SIGTERM waits for in-flight work before closing",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help=(
+            "arm a repro.faults plan: inline JSON or @path/to/plan.json "
+            "(also honoured from $REPRO_FAULT_PLAN)"
+        ),
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    if args.fault_plan:
+        raw = args.fault_plan.strip()
+        if raw.startswith("@"):
+            faults.arm(faults.FaultPlan.from_file(raw[1:]))
+        else:
+            faults.arm(raw)
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir if args.cache_dir else default_cache_dir())
+        cache = ResultCache(
+            args.cache_dir if args.cache_dir else default_cache_dir(),
+            memory_entries=args.memory_entries,
+        )
     shards = [s.strip() for s in args.shards.split(",")] if args.shards else None
     service = ScenarioService(
-        cache, workers=args.workers, shards=shards, shard_self=args.shard_self
+        cache,
+        workers=args.workers,
+        shards=shards,
+        shard_self=args.shard_self,
+        deadline_seconds=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        max_in_flight=args.max_in_flight,
+        worker_timeout=args.worker_timeout,
     )
     host, port = await service.start(args.host, args.port)
     print(f"repro-service listening on http://{host}:{port}", flush=True)
 
+    # SIGINT stops now; SIGTERM drains (finish in-flight within the grace
+    # budget) — the contract process supervisors expect.
     stop = asyncio.Event()
+    drain = asyncio.Event()
     loop = asyncio.get_running_loop()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        with contextlib.suppress(NotImplementedError):
-            loop.add_signal_handler(signum, stop.set)
-    await stop.wait()
-    await service.close()
+    with contextlib.suppress(NotImplementedError):
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+    with contextlib.suppress(NotImplementedError):
+        loop.add_signal_handler(signal.SIGTERM, drain.set)
+    waiters = [
+        asyncio.create_task(stop.wait(), name="stop"),
+        asyncio.create_task(drain.wait(), name="drain"),
+    ]
+    done, pending = await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+    for task in pending:
+        task.cancel()
+    if drain.is_set():
+        drained = await service.drain(args.drain_grace)
+        print(
+            f"repro-service drained ({'clean' if drained else 'grace expired'})",
+            flush=True,
+        )
+    else:
+        await service.close()
     return 0
 
 

@@ -22,6 +22,26 @@ dependency-light mode used by tests and the smoke harness).  Blocking
 cache I/O runs via :func:`asyncio.to_thread`, which is what the
 :class:`ResultCache` locking added alongside this module makes safe.
 
+Resilience (all deterministic under :mod:`repro.faults`, exercised by
+the chaos smoke in CI):
+
+* **deadlines** — ``deadline_seconds`` (or a per-request ``x-deadline-ms``
+  header) bounds the work endpoints; exceeding it answers a 504
+  ``DeadlineExceeded`` envelope, and a cancelled *owner* rejects its
+  coalesced followers with the typed :class:`OwnerCancelled` (also 504)
+  instead of stranding them;
+* **worker recovery** — a crashed (``BrokenProcessPool``) or stalled
+  (``worker_timeout``) worker loses one attempt, not the request: the
+  pool is respawned and the task retried with exponential backoff +
+  jitter up to ``worker_attempts`` times (results are pure functions of
+  the spec, so retries are bit-identical);
+* **backpressure** — ``max_in_flight`` caps concurrent work; excess
+  requests are shed with 429 + ``Retry-After`` (counted in ``/v1/stats``
+  under ``shed``) rather than queued without bound;
+* **graceful drain** — :meth:`ScenarioService.drain` (SIGTERM in
+  ``python -m repro.service``) stops accepting, answers new work 503,
+  finishes in-flight requests within a grace budget, then closes.
+
 See the package docstring (:mod:`repro.service`) for the wire schema.
 """
 
@@ -30,25 +50,34 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import multiprocessing as mp
+import random
 import re
 import threading
 import time
 from bisect import bisect_left
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
-from .. import __version__
+from .. import __version__, faults
 from ..core.process import ENGINE_SCHEMA_VERSION, EnsembleResult
 from ..scenario import ScenarioSpec
 from ..serve.cache import ResultCache, cache_key
-from ..serve.envelope import error_envelope, prepare_spec
-from ..serve.executor import FROM_CACHE, FROM_DEDUP, FROM_RUN, _run_shard
+from ..serve.envelope import EnvelopeError, error_envelope, prepare_spec
+from ..serve.executor import (
+    FROM_CACHE,
+    FROM_DEDUP,
+    FROM_RUN,
+    WorkerPoolError,
+    _run_shard,
+    backoff_delay,
+)
 from .http import HttpError, Request, encode_response, read_request
 from .sharding import ShardMap
 
-__all__ = ["LatencyHistogram", "ScenarioService", "result_payload"]
+__all__ = ["LatencyHistogram", "OwnerCancelled", "ScenarioService", "result_payload"]
 
 #: Provenance label for a request that awaited another request's run.
 FROM_COALESCED = "coalesced"
@@ -62,7 +91,27 @@ DEFAULT_MAX_BODY = 8 << 20
 #: far above any realistic working set, small enough to bound memory.
 VALIDATION_MEMO_ENTRIES = 4096
 
+#: Retry policy defaults for the worker tier (crash/stall recovery).  8
+#: attempts puts exhaustion under an injected crash probability of 0.2 at
+#: ~2.6e-6 per request — the chaos smoke's zero-5xx assertion is sound.
+DEFAULT_WORKER_ATTEMPTS = 8
+
+#: Work endpoints: the routes that execute simulations, and therefore the
+#: ones deadlines bound and backpressure sheds.  Health, stats and cached
+#: result lookups always answer.
+_WORK_LABELS = frozenset({"POST /v1/simulate", "POST /v1/batch"})
+
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class OwnerCancelled(Exception):
+    """The owning request of a coalesced key was cancelled mid-run.
+
+    Set on the in-flight future (instead of the raw ``CancelledError``,
+    which would tear through the followers' own ``wait_for`` guards) so
+    every coalesced follower fails typed — the dispatcher maps this to a
+    504, same as the owner's own deadline.
+    """
 
 
 def _finite(value: float) -> float | None:
@@ -173,6 +222,23 @@ class ScenarioService:
         key another node owns are still served locally (single-host
         deployment) but carry the owner in the response ``shard`` field,
         and the mismatch is counted in ``/v1/stats``.
+    deadline_seconds:
+        Default per-request deadline for the work endpoints (``None`` —
+        the default — means unbounded).  A client ``x-deadline-ms``
+        header overrides it per request.  Exceeding the deadline answers
+        504 and cancels the underlying run.
+    max_in_flight:
+        Concurrent-work cap; ``0`` (default) is unbounded.  Work requests
+        arriving at the cap are shed with 429 + ``Retry-After`` instead
+        of queueing without bound.
+    worker_attempts:
+        Total attempts per run before a crashed/stalled worker tier gives
+        up with a 500 (each retry respawns the pool and backs off with
+        jitter).
+    worker_timeout:
+        Seconds to wait for one worker attempt before declaring it
+        stalled and retrying on a fresh pool (``None``: wait forever —
+        rely on the request deadline instead).
     """
 
     def __init__(
@@ -183,9 +249,21 @@ class ScenarioService:
         shards: list[str] | None = None,
         shard_self: str = "local",
         max_body: int = DEFAULT_MAX_BODY,
+        deadline_seconds: float | None = None,
+        max_in_flight: int = 0,
+        worker_attempts: int = DEFAULT_WORKER_ATTEMPTS,
+        worker_timeout: float | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be > 0, got {deadline_seconds}")
+        if max_in_flight < 0:
+            raise ValueError(f"max_in_flight must be >= 0, got {max_in_flight}")
+        if worker_attempts < 1:
+            raise ValueError(f"worker_attempts must be >= 1, got {worker_attempts}")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be > 0, got {worker_timeout}")
         self.cache = cache
         self.workers = int(workers)
         self.shard_self = shard_self
@@ -195,9 +273,14 @@ class ScenarioService:
                 f"shard_self {shard_self!r} is not in shards {list(self.shard_map.nodes)!r}"
             )
         self.max_body = int(max_body)
+        self.deadline_seconds = None if deadline_seconds is None else float(deadline_seconds)
+        self.max_in_flight = int(max_in_flight)
+        self.worker_attempts = int(worker_attempts)
+        self.worker_timeout = None if worker_timeout is None else float(worker_timeout)
         self._pool: ProcessPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        self._draining = False
         # Validation memo: canonical spec JSON → already passed validate().
         # Registry validation can materialise a topology graph (hundreds of
         # ms), so the warm path must not re-pay it per request.  Accessed
@@ -210,6 +293,10 @@ class ScenarioService:
         self.runs = 0
         self.coalesced = 0
         self.remote_shard_requests = 0
+        self.shed = 0
+        self.deadline_hits = 0
+        self.worker_retries = 0
+        self.dropped_connections = 0
         self._started_at = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------
@@ -238,6 +325,36 @@ class ScenarioService:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    async def drain(self, grace: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, then close.
+
+        New work requests on surviving keep-alive connections answer 503
+        (``Draining``) while existing in-flight work completes; after
+        ``grace`` seconds any stragglers are abandoned to :meth:`close`.
+        Returns True when in-flight work hit zero within the budget —
+        what SIGTERM handling in ``python -m repro.service`` reports.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        budget = time.monotonic() + float(grace)
+        while self.in_flight > 0 and time.monotonic() < budget:
+            await asyncio.sleep(0.02)
+        drained = self.in_flight == 0
+        await self.close()
+        return drained
+
+    def _respawn_pool(self) -> None:
+        """Replace a broken or stalled worker pool with a fresh one."""
+        if self._pool is None:
+            return
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=mp.get_context("spawn")
+        )
+
     # -- connection / dispatch ----------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
@@ -256,8 +373,19 @@ class ScenarioService:
                 if request is None:
                     break
                 keep_alive = request.headers.get("connection", "").lower() != "close"
-                status, payload = await self._dispatch(request)
-                writer.write(encode_response(status, payload, keep_alive=keep_alive))
+                status, payload, extra_headers = await self._dispatch(request)
+                if faults.fire("service.connection-drop") is not None:
+                    # Injected network failure: hang up without writing the
+                    # response, so clients exercise their reconnect path.
+                    self.dropped_connections += 1
+                    break
+                if self._draining:
+                    keep_alive = False  # shed keep-alives so drain converges
+                writer.write(
+                    encode_response(
+                        status, payload, keep_alive=keep_alive, headers=extra_headers
+                    )
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -272,19 +400,61 @@ class ScenarioService:
             ):
                 await writer.wait_closed()
 
-    async def _dispatch(self, request: Request) -> tuple[int, dict]:
+    async def _dispatch(self, request: Request) -> tuple[int, dict, dict | None]:
         label, method, handler, argument = self._route(request)
         histogram = self._histograms.setdefault(label, LatencyHistogram())
+        is_work = label in _WORK_LABELS
+        if is_work and self._draining:
+            self._errors[label] = self._errors.get(label, 0) + 1
+            envelope = {
+                "type": "Draining",
+                "message": "service is draining; no new work accepted",
+            }
+            return 503, {"error": envelope}, None
+        if is_work and self.max_in_flight and self.in_flight >= self.max_in_flight:
+            # Shed rather than queue: the client's Retry-After backoff is
+            # the queue, and it is bounded on *their* side.
+            self.shed += 1
+            self._errors[label] = self._errors.get(label, 0) + 1
+            envelope = {
+                "type": "Overloaded",
+                "message": (
+                    f"{self.in_flight} requests in flight (cap {self.max_in_flight}); "
+                    "retry after backoff"
+                ),
+            }
+            return 429, {"error": envelope}, {"Retry-After": "1"}
+        rule = faults.fire("service.slow-response")
+        if rule is not None:
+            await asyncio.sleep(float(rule.params.get("seconds", 1.0)))
         self.in_flight += 1
         start = time.perf_counter()
+        deadline = None
         try:
             if handler is None:
                 raise HttpError(404, f"no route for {request.path!r}")
             if request.method != method:
                 raise HttpError(405, f"{request.path} only accepts {method}")
-            status, payload = await handler(request, argument)
+            deadline = self._deadline_for(request) if is_work else None
+            if deadline is not None:
+                status, payload = await asyncio.wait_for(
+                    handler(request, argument), deadline
+                )
+            else:
+                status, payload = await handler(request, argument)
         except HttpError as exc:
             status, payload = exc.status, {"error": error_envelope(exc)}
+        except TimeoutError:  # asyncio.wait_for: the deadline fired
+            self.deadline_hits += 1
+            budget = f"its {deadline * 1e3:.0f} ms deadline" if deadline else "a deadline"
+            status, payload = 504, {
+                "error": {"type": "DeadlineExceeded", "message": f"request exceeded {budget}"}
+            }
+        except OwnerCancelled as exc:
+            # Coalesced follower whose owner was cancelled: same verdict
+            # (and same status) as if this request had timed out itself.
+            self.deadline_hits += 1
+            status, payload = 504, {"error": error_envelope(exc)}
         except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the loop
             status, payload = 500, {"error": error_envelope(exc)}
         finally:
@@ -292,7 +462,20 @@ class ScenarioService:
             histogram.observe(time.perf_counter() - start)
         if status >= 400:
             self._errors[label] = self._errors.get(label, 0) + 1
-        return status, payload
+        return status, payload, None
+
+    def _deadline_for(self, request: Request) -> float | None:
+        """Effective deadline (seconds): ``x-deadline-ms`` header else config."""
+        raw = request.headers.get("x-deadline-ms")
+        if raw is None:
+            return self.deadline_seconds
+        try:
+            ms = float(raw)
+        except ValueError:
+            raise HttpError(400, f"x-deadline-ms is not a number: {raw!r}") from None
+        if ms <= 0:
+            raise HttpError(400, f"x-deadline-ms must be > 0, got {raw}")
+        return ms / 1e3
 
     def _route(self, request: Request):
         """Resolve one request to ``(stats label, method, handler, argument)``."""
@@ -344,7 +527,17 @@ class ScenarioService:
             # BaseException: a cancelled owner must not strand followers
             # on a forever-pending future.
             if not future.done():
-                future.set_exception(exc)
+                if isinstance(exc, asyncio.CancelledError):
+                    # Deadline (or teardown) cancelled the owner: fail the
+                    # followers typed — a raw CancelledError would tear
+                    # through their own wait_for guards unrecognisably.
+                    future.set_exception(
+                        OwnerCancelled(
+                            f"owning request for {key[:12]}… was cancelled before completing"
+                        )
+                    )
+                else:
+                    future.set_exception(exc)
                 # Coalesced awaiters consume the exception; without any,
                 # tell asyncio it is handled (it re-raises below regardless).
                 future.exception()
@@ -353,26 +546,67 @@ class ScenarioService:
             del self._inflight[key]
 
     async def _execute(self, key: str, spec: ScenarioSpec) -> EnsembleResult:
-        """Run one miss through the worker tier (stateless ``_run_shard`` task)."""
+        """Run one miss through the worker tier (stateless ``_run_shard`` task).
+
+        Survives worker death and stalls: each failed attempt respawns the
+        pool and retries after jittered exponential backoff, up to
+        ``worker_attempts`` total.  A retry is safe by construction — the
+        result is a pure function of the spec, so the bits are identical
+        whichever attempt produces them.  A *deterministic* spec failure
+        (the worker returned an error envelope) never retries; it is
+        re-raised typed so the envelope reaches the wire unchanged.
+        """
         shard = [(key, spec.to_json(indent=None))]
-        if self._pool is not None:
-            pairs = await asyncio.get_running_loop().run_in_executor(
-                self._pool, _run_shard, shard
-            )
-        else:
-            pairs = await asyncio.to_thread(_run_shard, shard)
-        return pairs[0][1]
+        # Deterministic jitter keyed on the content address: replayable
+        # schedules, uncorrelated across concurrent requests.
+        jitter = random.Random(int(key[:16], 16))
+        last: BaseException | None = None
+        for attempt in range(self.worker_attempts):
+            if attempt:
+                self.worker_retries += 1
+                await asyncio.sleep(backoff_delay(attempt - 1, jitter))
+            try:
+                if self._pool is not None:
+                    waiter = asyncio.get_running_loop().run_in_executor(
+                        self._pool, _run_shard, shard
+                    )
+                    if self.worker_timeout is not None:
+                        pairs = await asyncio.wait_for(
+                            asyncio.shield(waiter), self.worker_timeout
+                        )
+                    else:
+                        pairs = await waiter
+                else:
+                    pairs = await asyncio.to_thread(_run_shard, shard)
+            except (BrokenProcessPool, faults.InjectedFault) as exc:
+                last = exc
+                self._respawn_pool()
+                continue
+            except TimeoutError:
+                last = TimeoutError(
+                    f"worker stalled past worker_timeout={self.worker_timeout}s"
+                )
+                self._respawn_pool()  # the stalled worker is wedged; replace it
+                continue
+            payload = pairs[0][1]
+            if isinstance(payload, dict):  # per-item error envelope from the worker
+                raise EnvelopeError(payload)
+            return payload
+        raise WorkerPoolError(
+            f"worker execution failed after {self.worker_attempts} attempts"
+        ) from last
 
     # -- handlers ------------------------------------------------------------
 
     async def _handle_health(self, request: Request, _argument) -> tuple[int, dict]:
         return 200, {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "version": __version__,
             "schema_version": ENGINE_SCHEMA_VERSION,
             "workers": self.workers,
             "cache": self.cache is not None,
             "shard_self": self.shard_self,
+            "draining": self._draining,
         }
 
     async def _handle_stats(self, request: Request, _argument) -> tuple[int, dict]:
@@ -395,6 +629,20 @@ class ScenarioService:
             "runs": self.runs,
             "coalesced": self.coalesced,
             "remote_shard_requests": self.remote_shard_requests,
+            "shed": self.shed,
+            "deadline_hits": self.deadline_hits,
+            "worker_retries": self.worker_retries,
+            "dropped_connections": self.dropped_connections,
+            "draining": self._draining,
+            "limits": {
+                "max_in_flight": self.max_in_flight or None,
+                "deadline_ms": None
+                if self.deadline_seconds is None
+                else round(self.deadline_seconds * 1e3, 3),
+                "worker_attempts": self.worker_attempts,
+                "worker_timeout_s": self.worker_timeout,
+            },
+            "faults": faults.describe(),
             "cache": cache_stats,
             "cache_hit_rate": round(total_hits / total, 4) if total else None,
             "requests": requests,

@@ -7,6 +7,14 @@ benchmark suite and the CLI health poll.  :class:`AsyncConnection` is the
 coroutine-side equivalent used by the load driver: one open socket, one
 request at a time, keep-alive across requests, so a driver worker models
 one persistent user connection.
+
+Failure semantics (both clients): a dropped keep-alive gets **one**
+explicit reconnect-and-resend attempt — safe because every request is
+idempotent by content address — and exhaustion raises the typed
+:class:`ServiceUnavailable` instead of a bare ``OSError``.  On top of
+that, :class:`RetryPolicy` (opt-in for :class:`ServiceClient`, used by
+the load driver) retries 429/5xx/timeout responses with capped
+exponential backoff, honouring ``Retry-After`` on sheds.
 """
 
 from __future__ import annotations
@@ -14,8 +22,17 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
+import time
+from dataclasses import dataclass, field
 
-__all__ = ["AsyncConnection", "ServiceClient", "ServiceError"]
+__all__ = [
+    "AsyncConnection",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+]
 
 
 class ServiceError(Exception):
@@ -30,13 +47,79 @@ class ServiceError(Exception):
         self.body = body
 
 
-class ServiceClient:
-    """Blocking JSON client over one keep-alive connection."""
+class ServiceUnavailable(ConnectionError):
+    """The service could not be reached after bounded reconnect attempts.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+    Raised where the pre-resilience clients leaked a bare ``OSError`` /
+    ``ConnectionError``: after the one reconnect-and-resend attempt on a
+    dropped keep-alive fails too.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry: which responses retry, how long to back off.
+
+    Safe by construction: every service request is idempotent — results
+    are content-addressed pure functions of the spec — so replaying a
+    request can never double-apply anything.  Retries cover shed (429),
+    server-side failures (5xx, including 504 deadlines) and transport
+    errors (:class:`ServiceUnavailable`); backoff is exponential with
+    50–150% jitter, capped, and a server ``Retry-After`` takes precedence.
+    """
+
+    attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    statuses: frozenset = frozenset({429, 500, 502, 503, 504})
+    #: Jitter source; seedable for deterministic schedules in tests.
+    rng: random.Random = field(default_factory=random.Random, compare=False)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    def delay(self, attempt: int, retry_after: float | None = None) -> float:
+        if retry_after is not None:
+            return min(float(retry_after), self.backoff_cap)
+        nominal = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return nominal * (0.5 + self.rng.random())
+
+
+def _parse_retry_after(value) -> float | None:
+    """Seconds from a ``Retry-After`` header value (delta-seconds form only)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return seconds if seconds >= 0 else None
+
+
+class ServiceClient:
+    """Blocking JSON client over one keep-alive connection.
+
+    ``retry`` arms the checked methods (:meth:`simulate`, :meth:`batch`,
+    …) with a :class:`RetryPolicy`; ``None`` (default) keeps the historic
+    fail-fast behaviour.  :attr:`retried` counts policy retries actually
+    taken — the load driver surfaces it in its ``degraded_ok`` verdict.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.retried = 0
+        self.last_retry_after: float | None = None
         self._conn: http.client.HTTPConnection | None = None
 
     def _connection(self) -> http.client.HTTPConnection:
@@ -47,7 +130,10 @@ class ServiceClient:
         return self._conn
 
     def request_json(self, method: str, path: str, payload=None) -> tuple[int, dict]:
-        """One request/response cycle; reconnects once on a dropped keep-alive."""
+        """One request/response cycle; reconnects once on a dropped keep-alive.
+
+        Raises :class:`ServiceUnavailable` when the resend fails too.
+        """
         body = None
         headers = {}
         if payload is not None:
@@ -60,18 +146,35 @@ class ServiceClient:
                 response = conn.getresponse()
                 data = response.read()
                 break
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 self.close()
                 if attempt:
-                    raise
+                    raise ServiceUnavailable(
+                        f"{self.host}:{self.port} unreachable after reconnect: {exc}"
+                    ) from exc
+        self.last_retry_after = _parse_retry_after(response.getheader("Retry-After"))
         decoded = json.loads(data.decode("utf-8")) if data else {}
         return response.status, decoded
 
     def _checked(self, method: str, path: str, payload=None) -> dict:
-        status, body = self.request_json(method, path, payload)
-        if status >= 400:
-            raise ServiceError(status, body)
-        return body
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            if attempt:
+                self.retried += 1
+                time.sleep(policy.delay(attempt - 1, self.last_retry_after))
+            try:
+                status, body = self.request_json(method, path, payload)
+            except ServiceUnavailable:
+                if policy is None or attempt == attempts - 1:
+                    raise
+                self.last_retry_after = None
+                continue
+            if status < 400:
+                return body
+            if policy is None or status not in policy.statuses or attempt == attempts - 1:
+                raise ServiceError(status, body)
+        raise ServiceError(status, body)  # pragma: no cover — loop always returns/raises
 
     def health(self) -> dict:
         return self._checked("GET", "/v1/health")
@@ -101,21 +204,66 @@ class ServiceClient:
 
 
 class AsyncConnection:
-    """One keep-alive connection for coroutine-side load generation."""
+    """One keep-alive connection for coroutine-side load generation.
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    A request that dies mid-flight on a *reused* connection (the server
+    dropped the keep-alive — or the chaos plan did) is resent exactly once
+    over a fresh connection; a second transport failure raises
+    :class:`ServiceUnavailable`.  :attr:`last_headers` holds the response
+    headers of the most recent request (the load driver reads
+    ``retry-after`` from it).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self.reconnects = 0
+        self.last_headers: dict[str, str] = {}
 
     @classmethod
     async def open(cls, host: str, port: int) -> "AsyncConnection":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port)
+
+    async def _reconnect(self) -> None:
+        if self._host is None or self._port is None:
+            raise ServiceUnavailable(
+                "connection dropped and no (host, port) to reconnect to"
+            )
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+        self.reconnects += 1
 
     async def request_json(self, method: str, path: str, payload=None) -> tuple[int, dict]:
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        for attempt in (0, 1):
+            try:
+                return await self._roundtrip(method, path, body)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                if attempt:
+                    raise ServiceUnavailable(
+                        f"{self._host}:{self._port} unreachable after reconnect: {exc}"
+                    ) from exc
+                try:
+                    await self._reconnect()
+                except OSError as reconnect_exc:
+                    raise ServiceUnavailable(
+                        f"reconnect to {self._host}:{self._port} failed: {reconnect_exc}"
+                    ) from reconnect_exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _roundtrip(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: service\r\n"
@@ -132,14 +280,17 @@ class AsyncConnection:
         parts = status_line.decode("latin-1").split(None, 2)
         status = int(parts[1])
         length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         data = await self._reader.readexactly(length) if length else b""
+        self.last_headers = headers
         return status, json.loads(data.decode("utf-8")) if data else {}
 
     async def close(self) -> None:

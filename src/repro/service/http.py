@@ -32,8 +32,11 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -113,17 +116,31 @@ async def read_request(reader: asyncio.StreamReader, *, max_body: int) -> Reques
     )
 
 
-def encode_response(status: int, payload, *, keep_alive: bool = True) -> bytes:
-    """Frame one JSON response (``allow_nan=False``: the wire is strict JSON)."""
+def encode_response(
+    status: int,
+    payload,
+    *,
+    keep_alive: bool = True,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """Frame one JSON response (``allow_nan=False``: the wire is strict JSON).
+
+    ``headers`` adds extra response headers (e.g. ``Retry-After`` on a 429
+    shed); names and values must be latin-1 encodable.
+    """
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False).encode(
         "utf-8"
     )
     reason = _REASONS.get(status, "Unknown")
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         "\r\n"
     )
     return head.encode("latin-1") + body

@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import socket
 import subprocess
 import sys
@@ -40,8 +41,9 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from ..scenario import ScenarioSpec
-from .client import AsyncConnection, ServiceClient
+from .client import AsyncConnection, RetryPolicy, ServiceClient, ServiceUnavailable
 
 __all__ = [
     "corpus_json",
@@ -141,19 +143,65 @@ def _identity_view(payload: dict) -> dict:
     }
 
 
+#: Client-side retry attempts per request in the replay driver — generous,
+#: because under an armed chaos plan a request can be shed (429), deadline
+#: (504) or lose its connection several times and still must complete for
+#: the bit-identity verdict to be checkable.
+REPLAY_RETRY_ATTEMPTS = 6
+
+
 async def _replay_phase(
-    host: str, port: int, requests: list[tuple[str, str, dict | None]], concurrency: int
-) -> tuple[list[dict], list[float], float]:
+    host: str,
+    port: int,
+    requests: list[tuple[str, str, dict | None]],
+    concurrency: int,
+    *,
+    retry_attempts: int = REPLAY_RETRY_ATTEMPTS,
+) -> tuple[list[dict], list[float], float, dict]:
     """Drive ``requests`` (method, path, payload) through N user connections.
 
-    Returns per-request response payloads (request order), per-request
-    client-observed latencies in seconds, and the phase wall time.
+    Every virtual user retries degraded responses (429/5xx, per
+    :class:`RetryPolicy`) and transport failures with capped backoff —
+    safe because requests are idempotent by content address.  Returns
+    per-request response payloads (request order), per-request
+    client-observed latencies in seconds (successful attempts), the phase
+    wall time, and a degradation counter dict: every status observed
+    (including retried attempts), retries taken, transport failures, and
+    reconnects.
     """
     queue: asyncio.Queue[tuple[int, tuple[str, str, dict | None]]] = asyncio.Queue()
     for item in enumerate(requests):
         queue.put_nowait(item)
     payloads: list[dict | None] = [None] * len(requests)
     latencies: list[float] = []
+    counters = {"statuses": {}, "retried": 0, "unavailable": 0, "reconnects": 0}
+    policy = RetryPolicy(attempts=retry_attempts, rng=random.Random(0))
+
+    async def _one(conn: AsyncConnection, method, path, payload) -> dict:
+        for attempt in range(policy.attempts):
+            if attempt:
+                counters["retried"] += 1
+                retry_after = conn.last_headers.get("retry-after")
+                try:
+                    retry_after = None if retry_after is None else float(retry_after)
+                except ValueError:
+                    retry_after = None
+                await asyncio.sleep(policy.delay(attempt - 1, retry_after))
+            start = time.perf_counter()
+            try:
+                status, body = await conn.request_json(method, path, payload)
+            except ServiceUnavailable:
+                counters["unavailable"] += 1
+                if attempt == policy.attempts - 1:
+                    raise
+                continue
+            counters["statuses"][status] = counters["statuses"].get(status, 0) + 1
+            if status < 400:
+                latencies.append(time.perf_counter() - start)
+                return body
+            if status not in policy.statuses or attempt == policy.attempts - 1:
+                raise RuntimeError(f"{method} {path} failed with {status}: {body}")
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def user() -> None:
         conn = await AsyncConnection.open(host, port)
@@ -163,29 +211,27 @@ async def _replay_phase(
                     index, (method, path, payload) = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
-                start = time.perf_counter()
-                status, body = await conn.request_json(method, path, payload)
-                latencies.append(time.perf_counter() - start)
-                if status >= 400:
-                    raise RuntimeError(f"{method} {path} failed with {status}: {body}")
-                payloads[index] = body
+                payloads[index] = await _one(conn, method, path, payload)
         finally:
+            counters["reconnects"] += conn.reconnects
             await conn.close()
 
     start = time.perf_counter()
     await asyncio.gather(*(user() for _ in range(max(1, concurrency))))
     wall = time.perf_counter() - start
-    return payloads, latencies, wall
+    return payloads, latencies, wall, counters
 
 
-def _phase_summary(payloads: list[dict], latencies: list[float], wall: float) -> dict:
+def _phase_summary(
+    payloads: list[dict], latencies: list[float], wall: float, counters: dict | None = None
+) -> dict:
     sources: dict[str, int] = {}
     for payload in payloads:
         source = payload.get("source", "?")
         sources[source] = sources.get(source, 0) + 1
     samples = np.asarray(latencies) * 1e3
     p50, p95, p99 = (float(v) for v in np.percentile(samples, [50, 95, 99]))
-    return {
+    summary = {
         "requests": len(payloads),
         "wall_seconds": round(wall, 4),
         "rps": round(len(payloads) / wall, 2) if wall > 0 else None,
@@ -198,6 +244,11 @@ def _phase_summary(payloads: list[dict], latencies: list[float], wall: float) ->
         },
         "sources": sources,
     }
+    if counters is not None:
+        summary["statuses"] = {str(k): v for k, v in sorted(counters["statuses"].items())}
+        summary["retried"] = counters["retried"]
+        summary["reconnects"] = counters["reconnects"]
+    return summary
 
 
 async def run_load(host: str, port: int, specs: list[dict], *, concurrency: int = 4) -> dict:
@@ -212,10 +263,10 @@ async def run_load(host: str, port: int, specs: list[dict], *, concurrency: int 
         await probe.close()
 
     simulate_requests = [("POST", "/v1/simulate", spec) for spec in specs]
-    cold_payloads, cold_latencies, cold_wall = await _replay_phase(
+    cold_payloads, cold_latencies, cold_wall, cold_counters = await _replay_phase(
         host, port, simulate_requests, concurrency
     )
-    warm_payloads, warm_latencies, warm_wall = await _replay_phase(
+    warm_payloads, warm_latencies, warm_wall, warm_counters = await _replay_phase(
         host, port, simulate_requests, concurrency
     )
 
@@ -225,7 +276,7 @@ async def run_load(host: str, port: int, specs: list[dict], *, concurrency: int 
 
     unique_keys = sorted({view["key"] for view in cold_views})
     lookup_requests = [("GET", f"/v1/result/{key}", None) for key in unique_keys]
-    lookup_payloads, lookup_latencies, lookup_wall = await _replay_phase(
+    lookup_payloads, lookup_latencies, lookup_wall, lookup_counters = await _replay_phase(
         host, port, lookup_requests, concurrency
     )
     by_key = {view["key"]: view for view in cold_views}
@@ -245,13 +296,71 @@ async def run_load(host: str, port: int, specs: list[dict], *, concurrency: int 
         "corpus_requests": len(specs),
         "unique_keys": len(unique_keys),
         "phases": {
-            "cold": _phase_summary(cold_payloads, cold_latencies, cold_wall),
-            "warm": _phase_summary(warm_payloads, warm_latencies, warm_wall),
-            "lookup": _phase_summary(lookup_payloads, lookup_latencies, lookup_wall),
+            "cold": _phase_summary(cold_payloads, cold_latencies, cold_wall, cold_counters),
+            "warm": _phase_summary(warm_payloads, warm_latencies, warm_wall, warm_counters),
+            "lookup": _phase_summary(
+                lookup_payloads, lookup_latencies, lookup_wall, lookup_counters
+            ),
         },
         "replay_identical": identical,
+        "degraded": _degraded_verdict(
+            [cold_counters, warm_counters, lookup_counters], stats_before, stats_after
+        ),
         "server_stats": stats_after,
         "server_stats_before": stats_before,
+    }
+
+
+def _degraded_verdict(phase_counters: list[dict], stats_before: dict, stats_after: dict) -> dict:
+    """Aggregate degradation report + the ``ok`` verdict.
+
+    ``ok`` means every request ultimately succeeded with only *survivable*
+    degradation along the way: shed (429) and deadline (504) responses are
+    allowed — they are the resilience layer doing its job — but any other
+    5xx is a real failure.  Counts are per-run deltas so a long-lived
+    server can be load-tested repeatedly.
+    """
+    statuses: dict[int, int] = {}
+    retried = unavailable = reconnects = 0
+    for counters in phase_counters:
+        for status, count in counters["statuses"].items():
+            statuses[status] = statuses.get(status, 0) + count
+        retried += counters["retried"]
+        unavailable += counters["unavailable"]
+        reconnects += counters["reconnects"]
+
+    def _delta(field: str) -> int | None:
+        before, after = stats_before.get(field), stats_after.get(field)
+        if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+            return None
+        return int(after - before)
+
+    def _cache_delta(field: str) -> int | None:
+        before = (stats_before.get("cache") or {}).get(field)
+        after = (stats_after.get("cache") or {}).get(field)
+        if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+            return None
+        return int(after - before)
+
+    disallowed = {
+        str(status): count
+        for status, count in sorted(statuses.items())
+        if status >= 500 and status != 504
+    }
+    return {
+        "ok": not disallowed,
+        "statuses": {str(status): count for status, count in sorted(statuses.items())},
+        "disallowed_statuses": disallowed,
+        "retried": retried,
+        "unavailable": unavailable,
+        "reconnects": reconnects,
+        "shed": _delta("shed"),
+        "deadline_hits": _delta("deadline_hits"),
+        "worker_retries": _delta("worker_retries"),
+        "dropped_connections": _delta("dropped_connections"),
+        "cache_quarantined": _cache_delta("quarantined"),
+        "cache_read_errors": _cache_delta("read_errors"),
+        "faults": stats_after.get("faults"),
     }
 
 
@@ -270,28 +379,48 @@ def spawn_service(
     workers: int = 0,
     host: str = "127.0.0.1",
     timeout: float = 60.0,
+    fault_plan: str | None = None,
+    deadline_ms: float | None = None,
+    max_in_flight: int = 0,
+    memory_entries: int | None = None,
 ) -> tuple[subprocess.Popen, str, int]:
-    """Start ``python -m repro.service`` and wait for ``/v1/health``."""
+    """Start ``python -m repro.service`` and wait for ``/v1/health``.
+
+    ``fault_plan`` (inline JSON or ``@path``) arms :mod:`repro.faults` in
+    the child — and, via ``$REPRO_FAULT_PLAN``, in every worker the child
+    spawns.  ``memory_entries`` shrinks the cache's in-memory LRU; the
+    chaos smoke sets 1 so warm traffic actually reads disk, which is the
+    only way the corruption-quarantine path can fire under load.
+    """
     port = _free_port(host)
     package_root = str(Path(__file__).resolve().parents[2])  # .../src
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [package_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.service",
+        "--host",
+        host,
+        "--port",
+        str(port),
+        "--workers",
+        str(workers),
+        "--cache-dir",
+        cache_dir,
+    ]
+    if fault_plan:
+        env[faults.ENV_VAR] = fault_plan
+    if deadline_ms is not None:
+        argv += ["--deadline-ms", str(deadline_ms)]
+    if max_in_flight:
+        argv += ["--max-in-flight", str(max_in_flight)]
+    if memory_entries is not None:
+        argv += ["--memory-entries", str(memory_entries)]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.service",
-            "--host",
-            host,
-            "--port",
-            str(port),
-            "--workers",
-            str(workers),
-            "--cache-dir",
-            cache_dir,
-        ],
+        argv,
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -325,18 +454,32 @@ def drive(
     server: tuple[str, int] | None = None,
     service_workers: int = 0,
     p95_budget_ms: float | None = None,
+    fault_plan: str | None = None,
+    deadline_ms: float | None = None,
+    max_in_flight: int = 0,
+    memory_entries: int | None = None,
 ) -> dict:
     """Replay ``specs``; spawn a fresh cold service unless ``server`` is given.
 
     The budget (when set) applies to the **warm** ``/v1/simulate`` p95 —
     the steady-state read path the service exists for.  The verdict lands
     in the report under ``budget``; callers decide the exit code.
+    ``fault_plan``/``deadline_ms``/``max_in_flight``/``memory_entries``
+    configure the spawned service (ignored with an external ``server``) —
+    the chaos smoke's knobs.
     """
     process = None
     tmp_cache = None
     if server is None:
         tmp_cache = tempfile.mkdtemp(prefix="repro-load-cache-")
-        process, host, port = spawn_service(cache_dir=tmp_cache, workers=service_workers)
+        process, host, port = spawn_service(
+            cache_dir=tmp_cache,
+            workers=service_workers,
+            fault_plan=fault_plan,
+            deadline_ms=deadline_ms,
+            max_in_flight=max_in_flight,
+            memory_entries=memory_entries,
+        )
     else:
         host, port = server
     try:
@@ -349,6 +492,14 @@ def drive(
             except subprocess.TimeoutExpired:
                 process.kill()
     report["spawned_service"] = process is not None
+    if fault_plan:
+        if fault_plan.startswith("@"):
+            plan = faults.FaultPlan.from_file(fault_plan[1:])
+        else:
+            plan = faults.FaultPlan.from_json(fault_plan)
+        report["fault_plan"] = plan.to_dict()
+    else:
+        report["fault_plan"] = None
     if p95_budget_ms is not None:
         warm_p95 = report["phases"]["warm"]["latency_ms"]["p95"]
         report["budget"] = {

@@ -354,7 +354,7 @@ class TestBatchCommand:
         assert main(["batch", str(path), "--no-cache"]) == 1
         out = capsys.readouterr().out
         assert "[error]" in out
-        assert "1 invalid" in out
+        assert "1 failed" in out
 
     def test_unseeded_entry_is_per_item_error(self, capsys, tmp_path):
         path = tmp_path / "batch.json"

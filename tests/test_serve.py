@@ -555,3 +555,227 @@ class TestCacheThreadSafety:
         monkeypatch.setattr(os, "replace", real_replace)
         cache2 = ResultCache(tmp_path)
         assert cache2.get(key) is None  # degraded to a miss, not corruption
+
+
+class TestExecutorResilience:
+    """Crash/stall recovery and per-item failure envelopes in run_batch."""
+
+    @pytest.fixture(autouse=True)
+    def _disarmed(self):
+        from repro import faults
+
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_injected_crash_retries_bit_identical(self):
+        from repro import faults
+
+        spec = small_spec()
+        baseline = run_batch([spec], processes=1)
+        # The first shard attempt crashes, the retry succeeds: one retry
+        # recorded, result bit-identical to the fault-free run.
+        faults.arm(
+            {"rules": [{"point": "executor.worker-crash", "nth": 1, "times": 1}]}
+        )
+        report = run_batch([spec], processes=1)
+        assert report.errors == [None]
+        assert sum(report.retries.values()) == 1
+        assert_results_identical(report.results[0], baseline.results[0])
+
+    def test_crash_every_attempt_exhausts_bounded(self):
+        from repro import faults
+        from repro.serve.executor import WorkerPoolError
+
+        faults.arm({"rules": [{"point": "executor.worker-crash", "probability": 1.0}]})
+        with pytest.raises(WorkerPoolError, match="after 2 attempts"):
+            run_batch([small_spec()], processes=1, max_attempts=2)
+
+    def test_worker_exception_becomes_item_envelope(self, monkeypatch):
+        import repro.serve.executor as executor_module
+
+        good = small_spec(seed=0)
+        bad = small_spec(seed=1)
+        bad_json = bad.to_json(indent=None)
+        real = executor_module.simulate_ensemble
+
+        def poisoned(spec, **kwargs):
+            if spec.to_json(indent=None) == bad_json:
+                raise RuntimeError("poisoned spec")
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(executor_module, "simulate_ensemble", poisoned)
+        report = run_batch([good, bad, good], processes=1)
+        # Sibling items are unaffected; the poisoned one carries an envelope.
+        assert report.results[0] is not None
+        assert report.results[2] is not None
+        assert report.results[1] is None
+        assert report.errors[1] == {"type": "RuntimeError", "message": "poisoned spec"}
+        assert report.sources[1] == "error"
+        assert report.failed == 1
+        assert report.summary()["failed"] == 1
+
+    def test_failed_items_are_not_cached(self, monkeypatch, tmp_path):
+        import repro.serve.executor as executor_module
+
+        spec = small_spec()
+
+        def explode(spec, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(executor_module, "simulate_ensemble", explode)
+        cache = ResultCache(tmp_path / "cache")
+        report = run_batch([spec], cache=cache, processes=1)
+        assert report.failed == 1
+        assert cache.key_for(spec) not in cache
+
+    def test_injected_fault_is_not_swallowed_as_envelope(self):
+        # InjectedFault models infrastructure failure: it must stay
+        # retryable, never become a deterministic per-item envelope.
+        from repro import faults
+        from repro.serve.executor import _run_shard
+
+        spec = small_spec()
+        faults.arm({"rules": [{"point": "executor.worker-crash", "probability": 1.0}]})
+        with pytest.raises(faults.InjectedWorkerCrash):
+            _run_shard([(cache_key(spec), spec.to_json(indent=None))])
+
+    def test_backoff_delay_deterministic_and_capped(self):
+        import random
+
+        from repro.serve.executor import BACKOFF_CAP_SECONDS, backoff_delay
+
+        a = [backoff_delay(i, random.Random(0)) for i in range(12)]
+        b = [backoff_delay(i, random.Random(0)) for i in range(12)]
+        assert a == b
+        assert all(delay <= BACKOFF_CAP_SECONDS * 1.5 for delay in a)
+
+
+class TestCacheQuarantine:
+    """Checksum-validated reads: corruption degrades to a recomputable miss."""
+
+    @pytest.fixture(autouse=True)
+    def _disarmed(self):
+        from repro import faults
+
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def _corrupt(self, cache: ResultCache, key: str) -> None:
+        arrays_path = cache._paths(key)[1]
+        blob = bytearray(arrays_path.read_bytes())
+        middle = len(blob) // 2
+        for offset in range(middle, min(middle + 16, len(blob))):
+            blob[offset] ^= 0xFF
+        arrays_path.write_bytes(bytes(blob))
+
+    def test_corrupt_npz_round_trip(self, tmp_path):
+        from repro.serve.cache import QUARANTINE_DIR
+
+        spec = small_spec(record={"metrics": ["bias"], "every": 1})
+        cache = ResultCache(tmp_path / "cache")
+        original = cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        self._corrupt(cache, key)
+        cache._memory.clear()  # force the disk read path
+
+        # Corruption → miss + quarantine, not a crash or a wrong-bits hit.
+        assert cache.get(key) is None
+        stats = cache.stats()
+        assert stats["quarantined"] == 1
+        quarantine = (tmp_path / "cache") / QUARANTINE_DIR
+        assert sorted(p.suffix for p in quarantine.iterdir()) == [".json", ".npz"]
+        # Quarantined files are out of the live-entry namespace.
+        assert stats["disk_entries"] == 0
+
+        # Recompute and re-store: bit-identical to the original, including
+        # the trace digest.
+        recomputed = cache.fetch_or_run(spec)
+        assert_results_identical(recomputed, original)
+        assert recomputed.trace.digest() == original.trace.digest()
+        cache._memory.clear()
+        served = cache.get(key)
+        assert_results_identical(served, original)
+
+    def test_corrupt_manifest_quarantines(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        cache._paths(key)[0].write_text("{not json", encoding="utf-8")
+        cache._memory.clear()
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_checksum_recorded_at_write_time(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        manifest = json.loads(cache._paths(key)[0].read_text(encoding="utf-8"))
+        import hashlib
+
+        digest = hashlib.sha256(cache._paths(key)[1].read_bytes()).hexdigest()
+        assert manifest["checksum"] == digest
+
+    def test_read_error_fault_is_miss_without_deletion(self, tmp_path):
+        from repro import faults
+
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        cache._memory.clear()
+        faults.arm({"rules": [{"point": "cache.read-error", "nth": 1, "times": 1}]})
+        # Transient I/O failure: miss, but the good entry stays on disk.
+        assert cache.get(key) is None
+        assert cache.read_errors == 1
+        assert cache._paths(key)[0].exists()
+        assert cache.get(key) is not None  # next read succeeds
+
+    def test_corrupt_payload_fault_engages_quarantine_end_to_end(self, tmp_path):
+        from repro import faults
+        from repro.serve.cache import QUARANTINE_DIR
+
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        original = cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        cache._memory.clear()
+        faults.arm(
+            {"rules": [{"point": "cache.corrupt-payload", "nth": 1, "times": 1}]}
+        )
+        assert cache.get(key) is None  # the fault corrupted the real file
+        assert cache.quarantined == 1
+        assert ((tmp_path / "cache") / QUARANTINE_DIR).is_dir()
+        recomputed = cache.fetch_or_run(spec)
+        assert_results_identical(recomputed, original)
+
+    def test_legacy_entry_without_checksum_still_serves(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        original = cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        manifest_path = cache._paths(key)[0]
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        del manifest["checksum"]
+        manifest_path.write_text(json.dumps(manifest, sort_keys=True), encoding="utf-8")
+        cache._memory.clear()
+        served = cache.get(key)
+        assert_results_identical(served, original)
+
+    def test_clear_also_empties_quarantine(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        cache.fetch_or_run(spec)
+        key = cache.key_for(spec)
+        self._corrupt(cache, key)
+        cache._memory.clear()
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        cache.clear()
+        from repro.serve.cache import QUARANTINE_DIR
+
+        quarantine = (tmp_path / "cache") / QUARANTINE_DIR
+        assert not any(quarantine.iterdir())

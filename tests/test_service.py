@@ -6,6 +6,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -437,3 +438,452 @@ class TestValidationMemo:
             assert spec is None
             assert error["type"] in ("KeyError", "ValueError")
         assert len(service._validated) == 0
+
+
+class TestServiceResilience:
+    """Deadlines, backpressure, drain, worker recovery — under injected faults."""
+
+    @pytest.fixture(autouse=True)
+    def _disarmed(self):
+        from repro import faults
+
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_injected_owner_crash_rejects_all_followers_same_envelope(self):
+        # Every attempt crashes → bounded retries exhaust → the owner AND
+        # every coalesced follower get the same 500 envelope, and the
+        # in-flight table is left clean.
+        from repro import faults
+
+        service = ScenarioService(cache=ResultCache(None), workers=0, worker_attempts=2)
+        real_execute = service._execute
+
+        async def slow_then_real(key, spec):
+            await asyncio.sleep(0.3)  # hold the coalescing window open
+            return await real_execute(key, spec)
+
+        service._execute = slow_then_real
+        faults.arm({"rules": [{"point": "executor.worker-crash", "probability": 1.0}]})
+        spec = spec_dict(seed=41)
+        outcomes: list[tuple[int, dict]] = []
+
+        def one_request():
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                try:
+                    c.simulate(spec)
+                    outcomes.append((200, {}))
+                except ServiceError as exc:
+                    outcomes.append((exc.status, exc.body.get("error", {})))
+
+        with BackgroundServer(service) as srv:
+            threads = [threading.Thread(target=one_request) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        statuses = sorted(status for status, _ in outcomes)
+        assert statuses == [500, 500, 500]
+        envelopes = {json.dumps(envelope, sort_keys=True) for _, envelope in outcomes}
+        assert len(envelopes) == 1  # followers see the owner's exact envelope
+        assert outcomes[0][1]["type"] == "WorkerPoolError"
+        assert service._inflight == {}
+
+    def test_worker_crash_recovers_transparently(self):
+        # A sub-certain crash probability: retries absorb every crash and
+        # the client never sees a failure.
+        from repro import faults
+
+        faults.arm(
+            {"seed": 11, "rules": [{"point": "executor.worker-crash", "probability": 0.5}]}
+        )
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        with BackgroundServer(service) as srv:
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                payloads = [c.simulate(spec_dict(seed=s)) for s in range(6)]
+        assert all(p["source"] == "run" for p in payloads)
+        assert service.worker_retries > 0  # the plan did fire
+
+    def test_config_deadline_yields_504(self):
+        service = ScenarioService(
+            cache=ResultCache(None), workers=0, deadline_seconds=0.15
+        )
+
+        async def stuck_execute(key, spec):
+            await asyncio.sleep(30)
+
+        service._execute = stuck_execute
+        with BackgroundServer(service) as srv:
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                with pytest.raises(ServiceError) as err:
+                    c.simulate(spec_dict(seed=42))
+        assert err.value.status == 504
+        assert err.value.body["error"]["type"] == "DeadlineExceeded"
+        assert service.deadline_hits == 1
+        assert service._inflight == {}
+
+    def test_header_deadline_overrides_config(self):
+        import http.client
+
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+
+        async def stuck_execute(key, spec):
+            await asyncio.sleep(30)
+
+        service._execute = stuck_execute
+        with BackgroundServer(service) as srv:
+            conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=60.0)
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/simulate",
+                    body=json.dumps(spec_dict(seed=43)),
+                    headers={
+                        "Content-Type": "application/json",
+                        "x-deadline-ms": "100",
+                    },
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+            finally:
+                conn.close()
+        assert response.status == 504
+        assert body["error"]["type"] == "DeadlineExceeded"
+
+    def test_invalid_deadline_header_is_400(self):
+        import http.client
+
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        with BackgroundServer(service) as srv:
+            conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=30.0)
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/simulate",
+                    body=json.dumps(spec_dict(seed=44)),
+                    headers={"Content-Type": "application/json", "x-deadline-ms": "nope"},
+                )
+                response = conn.getresponse()
+                response.read()
+            finally:
+                conn.close()
+        assert response.status == 400
+
+    def test_owner_deadline_rejects_followers_with_504(self):
+        # The owner carries a short x-deadline-ms; the followers have no
+        # deadline of their own.  When the owner's budget expires, the
+        # shared future is cancelled and the followers must see a typed
+        # OwnerCancelled 504 — not hang on work nobody is running.
+        import http.client
+
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        started = threading.Event()
+
+        async def stuck_execute(key, spec):
+            started.set()
+            await asyncio.sleep(30)
+
+        service._execute = stuck_execute
+        spec = spec_dict(seed=45)
+        owner_result: list[tuple[int, str]] = []
+        follower_results: list[tuple[int, str]] = []
+
+        def owner():
+            conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=60.0)
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/simulate",
+                    body=json.dumps(spec),
+                    headers={
+                        "Content-Type": "application/json",
+                        "x-deadline-ms": "300",
+                    },
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                owner_result.append((response.status, body["error"]["type"]))
+            finally:
+                conn.close()
+
+        def follower():
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                try:
+                    c.simulate(spec)
+                    follower_results.append((200, ""))
+                except ServiceError as exc:
+                    follower_results.append(
+                        (exc.status, exc.body["error"]["type"])
+                    )
+
+        with BackgroundServer(service) as srv:
+            owner_thread = threading.Thread(target=owner)
+            owner_thread.start()
+            started.wait(timeout=10)  # the owner holds the in-flight entry
+            followers = [threading.Thread(target=follower) for _ in range(2)]
+            for t in followers:
+                t.start()
+            owner_thread.join(timeout=60)
+            for t in followers:
+                t.join(timeout=60)
+        assert owner_result == [(504, "DeadlineExceeded")]
+        assert follower_results == [(504, "OwnerCancelled")] * 2
+        assert service._inflight == {}
+
+    def test_backpressure_sheds_with_429_and_retry_after(self):
+        service = ScenarioService(cache=ResultCache(None), workers=0, max_in_flight=1)
+        release = asyncio.Event()
+        real_execute = service._execute
+
+        occupied = threading.Event()
+
+        async def gated_execute(key, spec):
+            occupied.set()  # the slot is genuinely taken once we get here
+            await release.wait()
+            return await real_execute(key, spec)
+
+        service._execute = gated_execute
+        shed_status: list[int] = []
+        retry_after: list[float | None] = []
+
+        def occupant():
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                c.simulate(spec_dict(seed=46))
+
+        with BackgroundServer(service) as srv:
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            occupied.wait(timeout=10)
+            deadline = time.perf_counter() + 10
+            with ServiceClient("127.0.0.1", srv.port, timeout=30.0) as c:
+                while time.perf_counter() < deadline:
+                    try:
+                        c.simulate(spec_dict(seed=47))
+                    except ServiceError as exc:
+                        shed_status.append(exc.status)
+                        retry_after.append(c.last_retry_after)
+                        break
+                    time.sleep(0.01)
+            srv._loop.call_soon_threadsafe(release.set)
+            thread.join(timeout=60)
+        assert shed_status == [429]
+        assert retry_after == [1.0]
+        assert service.shed >= 1
+
+    def test_drain_rejects_new_work_finishes_in_flight(self):
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        started = threading.Event()
+        real_execute = service._execute
+
+        async def slow_execute(key, spec):
+            started.set()
+            await asyncio.sleep(0.5)
+            return await real_execute(key, spec)
+
+        service._execute = slow_execute
+        results: list[dict] = []
+
+        def in_flight_request():
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                results.append(c.simulate(spec_dict(seed=48)))
+
+        with BackgroundServer(service) as srv:
+            port = srv.port
+            thread = threading.Thread(target=in_flight_request)
+            thread.start()
+            started.wait(timeout=10)
+            # Pre-open a keep-alive connection BEFORE the listener closes:
+            # it survives into the drain and must get 503 for new work.
+            survivor = ServiceClient("127.0.0.1", port, timeout=30.0)
+            survivor.health()
+            future = asyncio.run_coroutine_threadsafe(service.drain(10.0), srv._loop)
+            time.sleep(0.05)  # drain has closed the listener by now
+            try:
+                survivor.simulate(spec_dict(seed=49))
+                draining_status = 200
+            except ServiceError as exc:
+                draining_status = exc.status
+                draining_type = exc.body["error"]["type"]
+            finally:
+                survivor.close()
+            drained = future.result(timeout=30)
+            thread.join(timeout=60)
+        assert draining_status == 503
+        assert draining_type == "Draining"
+        assert drained is True
+        assert results and results[0]["source"] == "run"  # in-flight work finished
+
+    def test_slow_response_fault_delays_but_succeeds(self):
+        from repro import faults
+
+        faults.arm(
+            {
+                "rules": [
+                    {
+                        "point": "service.slow-response",
+                        "nth": 1,
+                        "times": 1,
+                        "params": {"seconds": 0.3},
+                    }
+                ]
+            }
+        )
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        with BackgroundServer(service) as srv:
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                start = time.perf_counter()
+                payload = c.simulate(spec_dict(seed=50))
+                elapsed = time.perf_counter() - start
+        assert payload["source"] == "run"
+        assert elapsed >= 0.3
+
+    def test_stats_surface_resilience_counters(self, client):
+        stats = client.stats()
+        for field in (
+            "shed",
+            "deadline_hits",
+            "worker_retries",
+            "dropped_connections",
+            "draining",
+            "limits",
+            "faults",
+        ):
+            assert field in stats
+        assert stats["faults"] is None  # no plan armed on the shared server
+
+
+class TestClientResilience:
+    """Reconnect-and-resend, typed unavailability, retry policy."""
+
+    @pytest.fixture(autouse=True)
+    def _disarmed(self):
+        from repro import faults
+
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_sync_client_resends_over_dropped_connection(self):
+        from repro import faults
+        from repro.service.client import ServiceUnavailable
+
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        with BackgroundServer(service) as srv:
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                c.health()  # establish the keep-alive connection
+                faults.arm(
+                    {
+                        "rules": [
+                            {"point": "service.connection-drop", "nth": 1, "times": 1}
+                        ]
+                    }
+                )
+                payload = c.simulate(spec_dict(seed=51))  # dropped once, resent
+        assert payload["source"] in ("run", "cache")
+        assert service.dropped_connections == 1
+
+    def test_async_connection_resends_over_dropped_connection(self):
+        from repro import faults
+        from repro.service.client import AsyncConnection
+
+        service = ScenarioService(cache=ResultCache(None), workers=0)
+        with BackgroundServer(service) as srv:
+            port = srv.port
+
+            async def scenario():
+                conn = await AsyncConnection.open("127.0.0.1", port)
+                try:
+                    status, _ = await conn.request_json("GET", "/v1/health")
+                    assert status == 200
+                    faults.arm(
+                        {
+                            "rules": [
+                                {
+                                    "point": "service.connection-drop",
+                                    "nth": 1,
+                                    "times": 1,
+                                }
+                            ]
+                        }
+                    )
+                    status, body = await conn.request_json(
+                        "POST", "/v1/simulate", spec_dict(seed=52)
+                    )
+                    return status, body, conn.reconnects
+                finally:
+                    await conn.close()
+
+            status, body, reconnects = asyncio.run(scenario())
+        assert status == 200
+        # The drop happens after dispatch, so the first attempt may have
+        # already populated the cache — the resend is idempotent either way.
+        assert body["source"] in ("run", "cache")
+        assert reconnects == 1
+
+    def test_unreachable_raises_typed_service_unavailable(self):
+        import socket
+
+        from repro.service.client import ServiceUnavailable
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with ServiceClient("127.0.0.1", dead_port, timeout=2.0) as c:
+            with pytest.raises(ServiceUnavailable):
+                c.health()
+
+    def test_retry_policy_recovers_from_shed(self):
+        from repro.service.client import RetryPolicy
+
+        service = ScenarioService(cache=ResultCache(None), workers=0, max_in_flight=1)
+        release = asyncio.Event()
+        occupied = threading.Event()
+        real_execute = service._execute
+
+        async def gated_execute(key, spec):
+            occupied.set()
+            await release.wait()
+            return await real_execute(key, spec)
+
+        service._execute = gated_execute
+
+        def occupant():
+            with ServiceClient("127.0.0.1", srv.port, timeout=60.0) as c:
+                c.simulate(spec_dict(seed=53))
+
+        with BackgroundServer(service) as srv:
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            occupied.wait(timeout=10)
+
+            def releaser():
+                time.sleep(0.4)
+                srv._loop.call_soon_threadsafe(release.set)
+
+            release_thread = threading.Thread(target=releaser)
+            release_thread.start()
+            retry_client = ServiceClient(
+                "127.0.0.1",
+                srv.port,
+                timeout=60.0,
+                retry=RetryPolicy(attempts=30, backoff_base=0.05, backoff_cap=0.2),
+            )
+            try:
+                payload = retry_client.simulate(spec_dict(seed=54))
+            finally:
+                retry_client.close()
+            release_thread.join(timeout=10)
+            thread.join(timeout=60)
+        assert payload["source"] == "run"
+        assert retry_client.retried >= 1
+        assert service.shed >= 1
+
+    def test_retry_policy_validates(self):
+        from repro.service.client import RetryPolicy
+
+        with pytest.raises(ValueError, match="attempts must be >= 1"):
+            RetryPolicy(attempts=0)
+        policy = RetryPolicy(attempts=3, backoff_cap=0.5)
+        assert policy.delay(0, retry_after=7.0) == 0.5  # capped
+        assert 0 < policy.delay(5) <= 0.5 * 1.5
